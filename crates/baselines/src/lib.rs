@@ -1,0 +1,25 @@
+//! Baseline lifetime-management systems the paper compares FeMux against.
+//!
+//! - [`faascache`]: greedy-dual caching keep-alive with a fixed cache
+//!   size (Fuerst & Sharma, ASPLOS '21) — its own fleet simulator, since
+//!   the shared cache couples applications.
+//! - [`icebreaker`]: single-FFT forecast-driven scaling (Roy et al.,
+//!   ASPLOS '22), homogeneous-pool variant.
+//! - [`aquatope`]: per-application LSTM scaling (Zhou et al.,
+//!   ASPLOS '23), built on the from-scratch LSTM in `femux-forecast`.
+//! - [`histogram`]: the hybrid idle-time-histogram keep-alive policy
+//!   (Shahrad et al., ATC '20).
+//!
+//! Fixed keep-alive policies (1/5/10 minutes) and Knative's default
+//! reactive autoscaler live in `femux-sim::policy`, since the simulator
+//! itself uses them as references.
+
+pub mod aquatope;
+pub mod faascache;
+pub mod histogram;
+pub mod icebreaker;
+
+pub use aquatope::AquatopePolicy;
+pub use faascache::{FaasCacheConfig, FaasCacheResult};
+pub use histogram::HybridHistogramPolicy;
+pub use icebreaker::IceBreakerPolicy;

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks: classifier training and prediction.
+//!
+//! K-means training over thousands of blocks completes in minutes at
+//! fleet scale in the paper; prediction happens once per block and must
+//! be microseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use femux_classify::{KMeans, KMeansConfig, StandardScaler};
+use femux_stats::rng::Rng;
+use std::hint::black_box;
+
+fn rows(n: usize) -> Vec<Vec<f64>> {
+    let mut rng = Rng::seed_from_u64(11);
+    (0..n)
+        .map(|_| (0..4).map(|_| rng.normal()).collect())
+        .collect()
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let data = rows(2_000);
+    let scaler = StandardScaler::fit(&data);
+    let scaled = scaler.transform(&data);
+    c.bench_function("kmeans_fit_2000x4", |b| {
+        b.iter(|| {
+            black_box(KMeans::fit(
+                black_box(&scaled),
+                &KMeansConfig {
+                    restarts: 1,
+                    ..KMeansConfig::default()
+                },
+            ))
+        })
+    });
+    let model = KMeans::fit(&scaled, &KMeansConfig::default());
+    c.bench_function("kmeans_predict", |b| {
+        b.iter(|| black_box(model.predict(black_box(&scaled[0]))))
+    });
+    c.bench_function("scaler_fit_2000x4", |b| {
+        b.iter(|| black_box(StandardScaler::fit(black_box(&data))))
+    });
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

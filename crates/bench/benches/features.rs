@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks: block feature extraction.
+//!
+//! The paper budgets <5 ms per 504-minute block for feature extraction
+//! (§4.3.2); these benches measure each feature and the full default
+//! vector.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use femux_features::{extract, Block, FeatureKind, BLOCK_MINUTES};
+use femux_stats::rng::Rng;
+use std::hint::black_box;
+
+fn block() -> Block {
+    let mut rng = Rng::seed_from_u64(7);
+    Block {
+        app_index: 0,
+        seq: 0,
+        series: (0..BLOCK_MINUTES)
+            .map(|t| {
+                (2.0 + (t as f64 * 0.05).sin() + 0.3 * rng.normal()).max(0.0)
+            })
+            .collect(),
+        exec_secs: 0.4,
+    }
+}
+
+fn bench_features(c: &mut Criterion) {
+    let b = block();
+    let mut group = c.benchmark_group("feature_504min_block");
+    for kind in FeatureKind::ALL {
+        group.bench_function(kind.name(), |bch| {
+            bch.iter(|| black_box(extract(black_box(&b), &[kind])))
+        });
+    }
+    group.bench_function("default_vector", |bch| {
+        bch.iter(|| black_box(extract(black_box(&b), &FeatureKind::DEFAULT)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks: per-forecast inference latency.
+//!
+//! The paper's scalability claims rest on lightweight forecasters
+//! (<7 ms mean inference, §5.2); these benches pin the per-model cost on
+//! the paper's 120-minute history window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use femux_forecast::ForecasterKind;
+use std::hint::black_box;
+
+fn history(len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|t| 2.0 + ((t as f64) * 0.21).sin().abs() * 3.0)
+        .collect()
+}
+
+fn bench_forecasters(c: &mut Criterion) {
+    let window = history(120);
+    let mut group = c.benchmark_group("forecast_120min_window");
+    for kind in ForecasterKind::ALL {
+        let mut forecaster = kind.build();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(forecaster.forecast(black_box(&window), 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_horizons(c: &mut Criterion) {
+    let window = history(120);
+    let mut group = c.benchmark_group("fft_horizon");
+    for horizon in [1usize, 10, 60] {
+        let mut f = ForecasterKind::Fft.build();
+        group.bench_function(format!("h{horizon}"), |b| {
+            b.iter(|| black_box(f.forecast(black_box(&window), horizon)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forecasters, bench_horizons);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: simulator replay throughput.
+//!
+//! §5.1-scale studies replay hundreds of thousands of invocations per
+//! policy; replay throughput (invocations/second) is what bounds
+//! experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use femux_sim::{simulate_app, KeepAlivePolicy, KnativeDefaultPolicy, SimConfig};
+use femux_trace::synth::ibm::{generate, IbmFleetConfig};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = generate(&IbmFleetConfig::small(77));
+    let app = trace
+        .apps
+        .iter()
+        .max_by_key(|a| a.invocations.len())
+        .expect("non-empty")
+        .clone();
+    let n = app.invocations.len() as u64;
+    let mut group = c.benchmark_group("simulate_app");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("knative_default", |b| {
+        b.iter(|| {
+            let mut policy = KnativeDefaultPolicy;
+            black_box(simulate_app(
+                black_box(&app),
+                &mut policy,
+                trace.span_ms,
+                &SimConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("keepalive_10min", |b| {
+        b.iter(|| {
+            let mut policy = KeepAlivePolicy::ten_minutes();
+            black_box(simulate_app(
+                black_box(&app),
+                &mut policy,
+                trace.span_ms,
+                &SimConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 4 — Within-workload execution-time variability.
+//!
+//! The paper reports the median of per-workload *average* execution time
+//! at ~10 ms while the median of per-workload *p99* execution time is
+//! ~800 ms — nearly two orders of magnitude of within-app spread.
+
+use femux_bench::table::{f1, print_series, print_table};
+use femux_bench::Scale;
+use femux_stats::desc::{log_space, mean, median, quantile, Ecdf};
+use femux_trace::synth::ibm::{generate, IbmFleetConfig};
+use femux_trace::WorkloadKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let trace = generate(&IbmFleetConfig {
+        n_apps: scale.ibm_apps(),
+        span_days: 2,
+        seed: 0xF1604,
+        max_invocations_per_app: 20_000,
+        rate_scale: 0.3,
+    });
+    let mut means_ms = Vec::new();
+    let mut p50s_ms = Vec::new();
+    let mut p99s_ms = Vec::new();
+    for app in &trace.apps {
+        if app.kind == WorkloadKind::BatchJob || app.invocations.len() < 20
+        {
+            continue;
+        }
+        let durs = app.durations_secs();
+        means_ms.push(mean(&durs) * 1_000.0);
+        p50s_ms.push(median(&durs).expect("non-empty") * 1_000.0);
+        p99s_ms.push(quantile(&durs, 0.99).expect("non-empty") * 1_000.0);
+    }
+    let xs = log_space(0.1, 1e6, 40);
+    print_series(
+        "CDF of per-workload mean exec (ms)",
+        &Ecdf::new(&means_ms).curve(&xs),
+    );
+    print_series(
+        "CDF of per-workload p50 exec (ms)",
+        &Ecdf::new(&p50s_ms).curve(&xs),
+    );
+    print_series(
+        "CDF of per-workload p99 exec (ms)",
+        &Ecdf::new(&p99s_ms).curve(&xs),
+    );
+    print_table(
+        "Fig. 4 summary (paper: median of means ~10 ms, median of p99s ~800 ms)",
+        &["metric", "ms"],
+        &[
+            vec![
+                "median of per-workload mean".into(),
+                f1(median(&means_ms).unwrap_or(f64::NAN)),
+            ],
+            vec![
+                "median of per-workload p50".into(),
+                f1(median(&p50s_ms).unwrap_or(f64::NAN)),
+            ],
+            vec![
+                "median of per-workload p99".into(),
+                f1(median(&p99s_ms).unwrap_or(f64::NAN)),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,64 @@
+//! Fig. 7 — Workload configuration distributions.
+//!
+//! CPU, memory, minimum pod scale, and container concurrency, against
+//! the paper's published marginals: 44.8 % below 1 vCPU / 50.8 % default
+//! / 4.4 % above; 53.6 % below 4 GB / 41.9 % default / 4.5 % above;
+//! 41.2 % min-scale 0 / 53.8 % one / 4.9 % two-plus; 93.3 % concurrency
+//! 100 / 3.2 % above.
+
+use femux_bench::table::{pct, print_table};
+use femux_bench::Scale;
+use femux_trace::synth::ibm::{generate, IbmFleetConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let trace = generate(&IbmFleetConfig {
+        n_apps: scale.ibm_apps(),
+        span_days: 1,
+        seed: 0xF1607,
+        max_invocations_per_app: 100,
+        rate_scale: 0.01,
+    });
+    let n = trace.apps.len() as f64;
+    let frac = |pred: &dyn Fn(&femux_trace::AppConfig) -> bool| {
+        trace.apps.iter().filter(|a| pred(&a.config)).count() as f64 / n
+    };
+
+    print_table(
+        "Fig. 7 — CPU allocation (paper: 44.8% / 50.8% / 4.4%)",
+        &["bucket", "fraction"],
+        &[
+            vec!["< 1 vCPU".into(), pct(frac(&|c| c.cpu_milli < 1_000))],
+            vec!["= 1 vCPU".into(), pct(frac(&|c| c.cpu_milli == 1_000))],
+            vec!["> 1 vCPU".into(), pct(frac(&|c| c.cpu_milli > 1_000))],
+        ],
+    );
+    print_table(
+        "Fig. 7 — Memory allocation (paper: 53.6% / 41.9% / 4.5%)",
+        &["bucket", "fraction"],
+        &[
+            vec!["< 4 GB".into(), pct(frac(&|c| c.mem_mb < 4_096))],
+            vec!["= 4 GB".into(), pct(frac(&|c| c.mem_mb == 4_096))],
+            vec!["> 4 GB".into(), pct(frac(&|c| c.mem_mb > 4_096))],
+        ],
+    );
+    print_table(
+        "Fig. 7 — Minimum pod scale (paper: 41.2% / 53.8% / 4.9%)",
+        &["bucket", "fraction"],
+        &[
+            vec!["0".into(), pct(frac(&|c| c.min_scale == 0))],
+            vec!["1".into(), pct(frac(&|c| c.min_scale == 1))],
+            vec![">= 2".into(), pct(frac(&|c| c.min_scale >= 2))],
+        ],
+    );
+    print_table(
+        "Fig. 7 — Container concurrency (paper: 93.3% at default 100, \
+         3.2% above; functions pinned to 1)",
+        &["bucket", "fraction"],
+        &[
+            vec!["< 100".into(), pct(frac(&|c| c.concurrency < 100))],
+            vec!["= 100".into(), pct(frac(&|c| c.concurrency == 100))],
+            vec!["> 100".into(), pct(frac(&|c| c.concurrency > 100))],
+        ],
+    );
+}

@@ -1,0 +1,105 @@
+//! Fig. 8 — Forecaster quality varies by application class.
+//!
+//! Applications are classed by invocation volume (the paper's 1 M /
+//! 100 M thresholds, scaled to this fleet). Left: per-class RUM for AR
+//! vs FFT — FFT wins below the top class, AR above. Right: aggregate RUM
+//! for AR-only, FFT-only, and the per-class best — picking the right
+//! forecaster per class lowers total RUM, FeMux's founding observation.
+
+use femux_bench::capacity::eval_single_forecaster;
+use femux_bench::table::{delta_pct, f1, print_table};
+use femux_bench::{azure_setup, Scale};
+use femux_forecast::ForecasterKind;
+use femux_rum::RumSpec;
+use femux_trace::split::{group_by_class, VolumeThresholds};
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = azure_setup(scale);
+    let apps = setup.test_apps();
+    let history = 120;
+    let stride = 5;
+    let rum = RumSpec::default_paper();
+
+    // Volume thresholds scaled by the fleet's volume relative to the
+    // paper's (12.5 B over 19 k apps).
+    let volumes: Vec<u64> = apps
+        .iter()
+        .map(|a| {
+            a.concurrency
+                .iter()
+                .map(|c| c * 60.0 / a.exec_secs.max(1e-3))
+                .sum::<f64>() as u64
+        })
+        .collect();
+    let total_volume: u64 = volumes.iter().sum();
+    let scale_factor =
+        total_volume as f64 / (12.5e9 / 19_000.0 * apps.len() as f64);
+    let thresholds = VolumeThresholds::scaled(scale_factor);
+    let groups = group_by_class(&volumes, thresholds);
+    let class_names = ["<1M-equiv", "1M-100M-equiv", ">100M-equiv"];
+
+    let mut per_class_rows = Vec::new();
+    let mut totals = [0.0f64; 3]; // ar-only, fft-only, per-class best
+    for (g, idx) in groups.iter().enumerate() {
+        if idx.is_empty() {
+            continue;
+        }
+        let mut ar_total = 0.0;
+        let mut fft_total = 0.0;
+        for &i in idx {
+            ar_total += rum.evaluate(&eval_single_forecaster(
+                &apps[i],
+                ForecasterKind::Ar,
+                history,
+                stride,
+                0.808,
+            ));
+            fft_total += rum.evaluate(&eval_single_forecaster(
+                &apps[i],
+                ForecasterKind::Fft,
+                history,
+                stride,
+                0.808,
+            ));
+        }
+        totals[0] += ar_total;
+        totals[1] += fft_total;
+        totals[2] += ar_total.min(fft_total);
+        per_class_rows.push(vec![
+            class_names[g].to_string(),
+            idx.len().to_string(),
+            f1(ar_total),
+            f1(fft_total),
+            if ar_total < fft_total { "AR" } else { "FFT" }.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 8-Left — per-class RUM (paper: FFT wins below 1M \
+         invocations, AR above)",
+        &["class", "apps", "AR RUM", "FFT RUM", "winner"],
+        &per_class_rows,
+    );
+    print_table(
+        "Fig. 8-Right — aggregate RUM (paper: per-class selection \
+         reduces RUM vs any single forecaster)",
+        &["deployment", "total RUM", "vs best single"],
+        &[
+            vec![
+                "AR only".into(),
+                f1(totals[0]),
+                delta_pct(totals[0], totals[0].min(totals[1])),
+            ],
+            vec![
+                "FFT only".into(),
+                f1(totals[1]),
+                delta_pct(totals[1], totals[0].min(totals[1])),
+            ],
+            vec![
+                "best per class".into(),
+                f1(totals[2]),
+                delta_pct(totals[2], totals[0].min(totals[1])),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,70 @@
+//! Fig. 16 (App. B.2) — The benefit of long traces.
+//!
+//! Two example workloads over the full 62-day span: workload A shows
+//! daily/weekly periodicity with a rising January trend; workload B
+//! shows a multi-week seasonal surge (75k-100k req/h peaks) before
+//! settling back to its standard 25k-50k peaks. A two-week window would
+//! miss both behaviours.
+
+use femux_bench::table::print_series;
+use femux_trace::synth::patterns::{
+    expected_daily_counts, ArrivalPattern,
+};
+use femux_trace::types::MS_PER_DAY;
+
+fn main() {
+    let span_ms = 62 * MS_PER_DAY;
+
+    // Workload A: diurnal + weekly structure with a slow ramp.
+    let a = ArrivalPattern::Diurnal {
+        base_rate: 8.0,
+        daily_amp: 0.5,
+        weekend_factor: 0.55,
+        ramp: 0.6,
+        peak_hour: 14.0,
+    };
+    let daily_a = expected_daily_counts(&a, span_ms);
+    print_series(
+        "workload A — daily invocations (ramping diurnal/weekly)",
+        &daily_a
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| (d as f64, c))
+            .collect::<Vec<_>>(),
+    );
+
+    // Workload B: standard traffic with a two-week seasonal surge
+    // starting on New Year's Day (day 10 of the trace window).
+    let base = ArrivalPattern::Diurnal {
+        base_rate: 10.0,
+        daily_amp: 0.4,
+        weekend_factor: 0.8,
+        ramp: 0.0,
+        peak_hour: 11.0,
+    };
+    let mut daily_b = expected_daily_counts(&base, span_ms);
+    for (d, v) in daily_b.iter_mut().enumerate() {
+        if (10..24).contains(&d) {
+            *v *= 2.8; // seasonal surge
+        }
+    }
+    print_series(
+        "workload B — daily invocations (early-January surge)",
+        &daily_b
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| (d as f64, c))
+            .collect::<Vec<_>>(),
+    );
+
+    // Quantify what a 14-day window would have concluded.
+    let first_two_weeks: f64 = daily_b[..14].iter().sum::<f64>() / 14.0;
+    let rest: f64 = daily_b[14..].iter().sum::<f64>()
+        / (daily_b.len() - 14) as f64;
+    println!(
+        "\nworkload B: mean daily volume in days 0-13 = {first_two_weeks:.0}, \
+         days 14+ = {rest:.0} — a 14-day trace overestimates steady load by \
+         {:.0}%",
+        100.0 * (first_two_weeks - rest) / rest
+    );
+}

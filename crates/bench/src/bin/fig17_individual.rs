@@ -1,0 +1,95 @@
+//! Fig. 17 (App. C) — FeMux vs its individual forecasters.
+//!
+//! Each single-forecaster deployment lands somewhere on the cold-start /
+//! wasted-memory plane (AR conservative, exponential smoothing lean,
+//! etc.); FeMux's multiplexed combination should dominate on RUM. The
+//! paper also reports switching statistics: >65 % of applications
+//! switched forecasters at least once, 20 % used 4 or more.
+
+use femux_bench::capacity::{eval_femux_fleet, eval_forecaster_fleet};
+use femux_bench::table::{f1, pct, print_table};
+use femux_bench::{azure_setup, Scale};
+use femux::manager::AppManager;
+use femux_rum::RumSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = azure_setup(scale);
+    let apps = setup.test_apps();
+    let cfg = setup.femux_config();
+    let rum = RumSpec::default_paper();
+
+    eprintln!("training FeMux...");
+    let model = setup.train_femux(&cfg);
+
+    let mut rows = Vec::new();
+    for kind in &cfg.forecasters {
+        let costs = eval_forecaster_fleet(
+            &apps,
+            *kind,
+            cfg.history,
+            cfg.label_stride,
+            cfg.cold_start_secs,
+        );
+        let total = femux_rum::aggregate(&costs);
+        rows.push(vec![
+            kind.to_string(),
+            f1(total.cold_start_seconds),
+            f1(total.wasted_gb_seconds),
+            f1(rum.evaluate_fleet(&costs)),
+        ]);
+    }
+    let femux_costs =
+        eval_femux_fleet(&apps, &model, cfg.cold_start_secs);
+    let femux_total = femux_rum::aggregate(&femux_costs);
+    rows.push(vec![
+        "FEMUX (multiplexed)".into(),
+        f1(femux_total.cold_start_seconds),
+        f1(femux_total.wasted_gb_seconds),
+        f1(rum.evaluate_fleet(&femux_costs)),
+    ]);
+    print_table(
+        "Fig. 17 — cold-start seconds vs wasted GB-s per deployment \
+         (paper: FeMux dominates on RUM; AR/keep-alive conservative, \
+         smoothing lean)",
+        &["deployment", "cold-start s", "wasted GB-s", "RUM"],
+        &rows,
+    );
+
+    // Switching statistics from replaying the managers.
+    let mut switched = 0usize;
+    let mut four_plus = 0usize;
+    let mut counted = 0usize;
+    for app in &apps {
+        if app.concurrency.len() < cfg.block_len {
+            continue;
+        }
+        counted += 1;
+        let mut mgr = AppManager::new(model.clone(), app.exec_secs);
+        for &v in &app.concurrency {
+            mgr.observe(v);
+        }
+        if mgr.switches() > 0 {
+            switched += 1;
+        }
+        if mgr.distinct_forecasters() >= 4 {
+            four_plus += 1;
+        }
+    }
+    print_table(
+        "Fig. 17 — switching statistics (paper: >65% of apps switched; \
+         20% used 4+ forecasters)",
+        &["metric", "value"],
+        &[
+            vec![
+                "apps that switched at least once".into(),
+                pct(switched as f64 / counted.max(1) as f64),
+            ],
+            vec![
+                "apps using 4+ forecasters".into(),
+                pct(four_plus as f64 / counted.max(1) as f64),
+            ],
+            vec!["apps with >=1 block".into(), counted.to_string()],
+        ],
+    );
+}

@@ -1,0 +1,65 @@
+//! CLI: generate a synthetic trace file in the `femux-trace` CSV format.
+//!
+//! ```sh
+//! cargo run --release -p femux-bench --bin gen_trace -- \
+//!     [ibm|azure] <n_apps> <days> <seed> <out.csv>
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use femux_trace::io::write_trace;
+use femux_trace::synth::azure::{generate as gen_azure, AzureFleetConfig};
+use femux_trace::synth::ibm::{generate as gen_ibm, IbmFleetConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gen_trace [ibm|azure] <n_apps> <days> <seed> <out.csv>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 5 {
+        usage();
+    }
+    let (Ok(n_apps), Ok(days), Ok(seed)) = (
+        args[1].parse::<usize>(),
+        args[2].parse::<u64>(),
+        args[3].parse::<u64>(),
+    ) else {
+        usage()
+    };
+    let trace = match args[0].as_str() {
+        "ibm" => gen_ibm(&IbmFleetConfig {
+            n_apps,
+            span_days: days,
+            seed,
+            max_invocations_per_app: 100_000,
+            rate_scale: 0.3,
+        }),
+        "azure" => gen_azure(&AzureFleetConfig {
+            n_apps,
+            days: days as usize,
+            seed,
+            rate_scale: 0.5,
+        })
+        .to_trace(),
+        _ => usage(),
+    };
+    trace.validate().expect("generated trace is valid");
+    let file = File::create(&args[4]).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", args[4]);
+        std::process::exit(1);
+    });
+    let mut out = BufWriter::new(file);
+    write_trace(&trace, &mut out).expect("write succeeds");
+    println!(
+        "wrote {}: {} apps, {} invocations, {} days",
+        args[4],
+        trace.apps.len(),
+        trace.total_invocations(),
+        trace.span_days()
+    );
+}

@@ -1,0 +1,88 @@
+//! CLI: summarize a trace file (the `femux-trace` CSV format).
+//!
+//! ```sh
+//! cargo run --release -p femux-bench --bin inspect_trace -- <trace.csv>
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+
+use femux_bench::table::{f1, pct, print_table};
+use femux_stats::desc::{
+    coefficient_of_variation, fraction_where, mean, median, Summary,
+};
+use femux_trace::io::read_trace;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: inspect_trace <trace.csv>");
+        std::process::exit(2);
+    };
+    let file = File::open(&path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let trace = read_trace(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = trace.validate() {
+        eprintln!("warning: trace failed validation: {e}");
+    }
+
+    let mut iat_medians = Vec::new();
+    let mut exec_means = Vec::new();
+    let mut high_cv = 0usize;
+    let mut counted = 0usize;
+    for app in &trace.apps {
+        let iats = app.iats_secs();
+        if iats.len() >= 5 {
+            counted += 1;
+            iat_medians.push(median(&iats).expect("non-empty"));
+            if coefficient_of_variation(&iats) > 1.0 {
+                high_cv += 1;
+            }
+        }
+        if !app.invocations.is_empty() {
+            exec_means.push(mean(&app.durations_secs()));
+        }
+    }
+    print_table(
+        &format!("trace summary: {path}"),
+        &["metric", "value"],
+        &[
+            vec!["applications".into(), trace.apps.len().to_string()],
+            vec![
+                "invocations".into(),
+                trace.total_invocations().to_string(),
+            ],
+            vec!["span (days)".into(), trace.span_days().to_string()],
+            vec![
+                "apps with sub-minute median IAT".into(),
+                pct(fraction_where(&iat_medians, |x| x < 60.0)),
+            ],
+            vec![
+                "apps with IAT CV > 1".into(),
+                pct(high_cv as f64 / counted.max(1) as f64),
+            ],
+            vec![
+                "apps with sub-second mean exec".into(),
+                pct(fraction_where(&exec_means, |x| x < 1.0)),
+            ],
+        ],
+    );
+    if let Some(s) = Summary::of(&exec_means) {
+        print_table(
+            "per-app mean execution time (s)",
+            &["stat", "value"],
+            &[
+                vec!["p50".into(), f1(s.p50 * 1_000.0) + " ms"],
+                vec!["p90".into(), f1(s.p90 * 1_000.0) + " ms"],
+                vec!["p99".into(), f1(s.p99 * 1_000.0) + " ms"],
+                vec!["max".into(), f1(s.max) + " s"],
+            ],
+        );
+    }
+    let daily = trace.daily_invocations();
+    println!("\ndaily invocations: {daily:?}");
+}

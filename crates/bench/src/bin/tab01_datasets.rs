@@ -1,0 +1,114 @@
+//! Table 1 — Comparison of serverless datasets.
+//!
+//! The qualitative rows are fixed facts about the public datasets; the
+//! IBM column's volume figures are computed from the synthetic fleet at
+//! the configured scale (the real trace's totals are shown in
+//! parentheses in the header row of the paper).
+
+use femux_bench::table::print_table;
+use femux_bench::Scale;
+use femux_trace::synth::compare::all_presets;
+use femux_trace::synth::ibm::{generate, IbmFleetConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows: Vec<Vec<String>> = vec![
+        vec![
+            "Req. time accuracy".into(),
+            "min".into(),
+            "ms".into(),
+            "min".into(),
+            "min*".into(),
+            "ms".into(),
+        ],
+        vec![
+            "Execution durations".into(),
+            "ms (daily)".into(),
+            "ms (per req.)".into(),
+            "N/A".into(),
+            "us (per min.)".into(),
+            "ms (per req.)".into(),
+        ],
+        vec![
+            "Platform delay".into(),
+            "N/A".into(),
+            "N/A".into(),
+            "N/A".into(),
+            "us".into(),
+            "ms".into(),
+        ],
+        vec![
+            "CPU/mem allocation".into(),
+            "no".into(),
+            "no".into(),
+            "no".into(),
+            "yes".into(),
+            "yes".into(),
+        ],
+        vec![
+            "Concurrency & min-scale".into(),
+            "N/A".into(),
+            "N/A".into(),
+            "N/A".into(),
+            "no".into(),
+            "yes".into(),
+        ],
+        vec![
+            "Scale up/down events".into(),
+            "no".into(),
+            "no".into(),
+            "no".into(),
+            "yes/no".into(),
+            "yes".into(),
+        ],
+        vec![
+            "Duration (days)".into(),
+            "14".into(),
+            "14".into(),
+            "26".into(),
+            "31".into(),
+            "62".into(),
+        ],
+        vec![
+            "Total invocations".into(),
+            "12.5 B".into(),
+            "2 M".into(),
+            "2.5 B".into(),
+            "85 B".into(),
+            "1.9 B".into(),
+        ],
+        vec![
+            "Open-source platform".into(),
+            "no".into(),
+            "no".into(),
+            "no".into(),
+            "no".into(),
+            "yes (Knative)".into(),
+        ],
+    ];
+    let headers: Vec<&str> = std::iter::once("field")
+        .chain(all_presets().iter().map(|p| p.name))
+        .collect::<Vec<_>>();
+    print_table("Table 1 — dataset comparison", &headers, &rows);
+
+    // The synthetic stand-in's own totals at this scale.
+    let trace = generate(&IbmFleetConfig {
+        n_apps: scale.ibm_apps(),
+        span_days: 2,
+        seed: 0x7AB01,
+        max_invocations_per_app: 20_000,
+        rate_scale: 0.3,
+    });
+    print_table(
+        "Synthetic IBM stand-in at this scale",
+        &["metric", "value"],
+        &[
+            vec!["workloads".into(), trace.apps.len().to_string()],
+            vec![
+                "materialized invocations".into(),
+                trace.total_invocations().to_string(),
+            ],
+            vec!["span (days)".into(), trace.span_days().to_string()],
+        ],
+    );
+}

@@ -1,0 +1,96 @@
+//! Table 2 — Metric survey across lifetime-management systems.
+//!
+//! A static survey of which performance/efficiency metrics each prior
+//! system optimizes (the lack of consensus that motivates RUM), plus a
+//! live demonstration: the same simulation outcome ranks two policies
+//! differently under two of the surveyed metrics.
+
+use femux_bench::table::{f1, print_table};
+use femux_bench::{azure_setup, Scale};
+use femux_bench::capacity::{eval_forecaster_fleet, eval_keepalive};
+use femux_forecast::ForecasterKind;
+
+fn main() {
+    let mark = |b: bool| if b { "x" } else { "" }.to_string();
+    let rows = [
+        // (metric, shahrad20, faascache, icebreaker, aquatope)
+        ("Cold start % per app", true, false, false, false),
+        ("Overall cold start %", false, true, false, true),
+        ("Service time", false, true, true, false),
+        ("Number of cold starts", false, true, false, false),
+        ("Wasted memory time", true, false, false, false),
+        ("Allocated memory time", false, false, false, true),
+        ("Total keep-alive cost ($)", false, false, true, false),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(m, a, b, c, d)| {
+            vec![
+                m.to_string(),
+                mark(*a),
+                mark(*b),
+                mark(*c),
+                mark(*d),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2 — no consensus on lifetime-management metrics",
+        &[
+            "metric",
+            "Shahrad'20",
+            "FaasCache",
+            "IceBreaker",
+            "Aquatope",
+        ],
+        &table,
+    );
+
+    // Demonstration: two policies, two surveyed metrics, two different
+    // winners — the motivation for a unified tunable metric.
+    let setup = azure_setup(Scale::from_env());
+    let apps = setup.test_apps();
+    let lean = eval_forecaster_fleet(
+        &apps,
+        ForecasterKind::Naive,
+        120,
+        10,
+        0.808,
+    );
+    let ka: Vec<_> = apps
+        .iter()
+        .map(|a| eval_keepalive(a, 10, 120, 0.808))
+        .collect();
+    let lean_total = femux_rum::aggregate(&lean);
+    let ka_total = femux_rum::aggregate(&ka);
+    print_table(
+        "Same runs, different metrics, different winners",
+        &["metric", "naive (last value)", "10-min keep-alive", "winner"],
+        &[
+            vec![
+                "number of cold starts".into(),
+                lean_total.cold_starts.to_string(),
+                ka_total.cold_starts.to_string(),
+                if lean_total.cold_starts < ka_total.cold_starts {
+                    "naive"
+                } else {
+                    "keep-alive"
+                }
+                .into(),
+            ],
+            vec![
+                "allocated memory time (GB-s)".into(),
+                f1(lean_total.allocated_gb_seconds),
+                f1(ka_total.allocated_gb_seconds),
+                if lean_total.allocated_gb_seconds
+                    < ka_total.allocated_gb_seconds
+                {
+                    "naive"
+                } else {
+                    "keep-alive"
+                }
+                .into(),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,112 @@
+//! JSON export of experiment results.
+//!
+//! Each experiment binary prints human-readable tables; this module lets
+//! them additionally persist machine-readable results (for plotting or
+//! regression tracking) when `FEMUX_JSON_DIR` is set.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A named `(x, y)` series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series name (as printed by the table module).
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A complete experiment result document.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct ExperimentDoc {
+    /// Experiment id (e.g. "fig11").
+    pub id: String,
+    /// Scalar metrics by name.
+    pub metrics: Vec<(String, f64)>,
+    /// Plot series.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentDoc {
+    /// Creates an empty document for an experiment id.
+    pub fn new(id: &str) -> Self {
+        ExperimentDoc {
+            id: id.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Records a scalar metric.
+    pub fn metric(&mut self, name: &str, value: f64) -> &mut Self {
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+
+    /// Records a series.
+    pub fn series(
+        &mut self,
+        name: &str,
+        points: Vec<(f64, f64)>,
+    ) -> &mut Self {
+        self.series.push(Series {
+            name: name.to_string(),
+            points,
+        });
+        self
+    }
+
+    /// Writes the document to `$FEMUX_JSON_DIR/<id>.json` when the
+    /// environment variable is set; silently does nothing otherwise.
+    /// Returns the path written, if any.
+    pub fn write_if_configured(&self) -> Option<PathBuf> {
+        let dir = std::env::var_os("FEMUX_JSON_DIR")?;
+        let mut path = PathBuf::from(dir);
+        if std::fs::create_dir_all(&path).is_err() {
+            return None;
+        }
+        path.push(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).ok()?;
+        let mut file = std::fs::File::create(&path).ok()?;
+        file.write_all(json.as_bytes()).ok()?;
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_serializes() {
+        let mut doc = ExperimentDoc::new("demo");
+        doc.metric("rum", 12.5)
+            .series("cdf", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let json = serde_json::to_string(&doc).expect("serializes");
+        assert!(json.contains("\"demo\""));
+        assert!(json.contains("12.5"));
+        assert!(json.contains("cdf"));
+    }
+
+    #[test]
+    fn no_env_no_write() {
+        // FEMUX_JSON_DIR is not set in the test environment.
+        let doc = ExperimentDoc::new("demo");
+        assert!(doc.write_if_configured().is_none());
+    }
+
+    #[test]
+    fn writes_when_configured() {
+        let dir = std::env::temp_dir().join("femux-json-test");
+        // Use a private env guard: set, write, unset.
+        std::env::set_var("FEMUX_JSON_DIR", &dir);
+        let mut doc = ExperimentDoc::new("unit");
+        doc.metric("x", 1.0);
+        let path = doc.write_if_configured().expect("written");
+        std::env::remove_var("FEMUX_JSON_DIR");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.contains("\"unit\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,87 @@
+//! Plain-text table and series printers for experiment output.
+//!
+//! Experiment binaries print the same rows/series the paper's figures
+//! plot; these helpers keep the formatting uniform and parseable.
+
+/// Prints a titled table with aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> =
+        headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (cell, w) in cells.iter().zip(&widths) {
+            out.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints an `(x, y)` series as two aligned columns — one plot line.
+pub fn print_series(name: &str, points: &[(f64, f64)]) {
+    println!("\n-- series: {name} --");
+    for (x, y) in points {
+        println!("{x:>14.6}  {y:>14.6}");
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a percentage with 1 decimal from a fraction.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a ratio as a percentage change relative to a baseline
+/// (negative = reduction).
+pub fn delta_pct(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", 100.0 * (value - baseline) / baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(pct(0.4567), "45.7%");
+        assert_eq!(delta_pct(80.0, 100.0), "-20.0%");
+        assert_eq!(delta_pct(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        print_series("s", &[(1.0, 2.0)]);
+    }
+}

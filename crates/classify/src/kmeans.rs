@@ -1,0 +1,309 @@
+//! K-means clustering with k-means++ initialization.
+//!
+//! FeMux groups blocks with similar features via k-means and assigns each
+//! cluster the forecaster with the lowest summed RUM over its member
+//! blocks (§4.3.4). The paper found clustering ~15 % better than
+//! supervised per-block labelling because a cluster-level assignment is
+//! robust to individually mislabelled blocks.
+
+use femux_stats::rng::Rng;
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// Cluster centroids (k rows).
+    pub centroids: Vec<Vec<f64>>,
+    /// Training inertia (sum of squared distances to assigned centroid).
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Configuration for k-means training.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on centroid movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+    /// Independent restarts; the best-inertia run wins.
+    pub restarts: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iter: 100,
+            tol: 1e-6,
+            seed: 0xC1_0D,
+            restarts: 4,
+        }
+    }
+}
+
+impl KMeans {
+    /// Fits k-means on a row-major matrix.
+    ///
+    /// If there are fewer distinct rows than `k`, the effective cluster
+    /// count shrinks gracefully (duplicate centroids collapse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty, ragged, or `cfg.k == 0`.
+    pub fn fit(rows: &[Vec<f64>], cfg: &KMeansConfig) -> KMeans {
+        assert!(!rows.is_empty(), "cannot cluster zero rows");
+        assert!(cfg.k > 0, "k must be positive");
+        let dims = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == dims),
+            "ragged feature matrix"
+        );
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let mut best: Option<KMeans> = None;
+        for _ in 0..cfg.restarts.max(1) {
+            let model = Self::fit_once(rows, cfg, &mut rng);
+            if best
+                .as_ref()
+                .is_none_or(|b| model.inertia < b.inertia)
+            {
+                best = Some(model);
+            }
+        }
+        best.expect("at least one restart ran")
+    }
+
+    fn fit_once(
+        rows: &[Vec<f64>],
+        cfg: &KMeansConfig,
+        rng: &mut Rng,
+    ) -> KMeans {
+        let k = cfg.k.min(rows.len());
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> =
+            vec![rows[rng.index(rows.len())].clone()];
+        while centroids.len() < k {
+            let dists: Vec<f64> = rows
+                .iter()
+                .map(|r| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(r, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = dists.iter().sum();
+            if total <= 1e-18 {
+                // All points coincide with existing centroids.
+                break;
+            }
+            let idx = rng.weighted_index(&dists);
+            centroids.push(rows[idx].clone());
+        }
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; rows.len()];
+        let mut iterations = 0;
+        for iter in 0..cfg.max_iter {
+            iterations = iter + 1;
+            for (a, row) in assignment.iter_mut().zip(rows) {
+                *a = nearest(&centroids, row).0;
+            }
+            let mut sums: Vec<Vec<f64>> =
+                vec![vec![0.0; rows[0].len()]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (&a, row) in assignment.iter().zip(rows) {
+                counts[a] += 1;
+                for (s, x) in sums[a].iter_mut().zip(row) {
+                    *s += x;
+                }
+            }
+            let mut movement = 0.0f64;
+            for (c, (sum, &count)) in
+                centroids.iter_mut().zip(sums.iter().zip(&counts))
+            {
+                if count == 0 {
+                    continue; // Keep empty clusters where they are.
+                }
+                let new: Vec<f64> =
+                    sum.iter().map(|s| s / count as f64).collect();
+                movement = movement.max(sq_dist(c, &new));
+                *c = new;
+            }
+            if movement < cfg.tol {
+                break;
+            }
+        }
+        let inertia: f64 = rows
+            .iter()
+            .zip(&assignment)
+            .map(|(r, &a)| sq_dist(r, &centroids[a]))
+            .sum();
+        KMeans {
+            centroids,
+            inertia,
+            iterations,
+        }
+    }
+
+    /// Returns the number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Predicts the cluster of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        nearest(&self.centroids, row).0
+    }
+
+    /// Predicts clusters for a matrix.
+    pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+fn nearest(centroids: &[Vec<f64>], row: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        assert_eq!(c.len(), row.len(), "dimension mismatch");
+        let d = sq_dist(c, row);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs(per: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for (label, c) in centers.iter().enumerate() {
+            for _ in 0..per {
+                rows.push(vec![
+                    c[0] + 0.5 * rng.normal(),
+                    c[1] + 0.5 * rng.normal(),
+                ]);
+                truth.push(label);
+            }
+        }
+        (rows, truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (rows, truth) = three_blobs(50, 1);
+        let model = KMeans::fit(
+            &rows,
+            &KMeansConfig {
+                k: 3,
+                ..KMeansConfig::default()
+            },
+        );
+        let pred = model.predict_all(&rows);
+        // Each true blob must map to exactly one predicted cluster.
+        for blob in 0..3 {
+            let members: Vec<usize> = pred
+                .iter()
+                .zip(&truth)
+                .filter(|(_, t)| **t == blob)
+                .map(|(p, _)| *p)
+                .collect();
+            let first = members[0];
+            assert!(
+                members.iter().all(|m| *m == first),
+                "blob {blob} split across clusters"
+            );
+        }
+        assert!(model.inertia < 150.0, "inertia {}", model.inertia);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (rows, _) = three_blobs(30, 2);
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 9,
+            ..KMeansConfig::default()
+        };
+        let a = KMeans::fit(&rows, &cfg);
+        let b = KMeans::fit(&rows, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_points_shrinks() {
+        let rows = vec![vec![1.0], vec![2.0]];
+        let model = KMeans::fit(
+            &rows,
+            &KMeansConfig {
+                k: 10,
+                ..KMeansConfig::default()
+            },
+        );
+        assert!(model.k() <= 2);
+        assert!(model.inertia < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_one_cluster() {
+        let rows = vec![vec![3.0, 3.0]; 20];
+        let model = KMeans::fit(
+            &rows,
+            &KMeansConfig {
+                k: 4,
+                ..KMeansConfig::default()
+            },
+        );
+        assert_eq!(model.predict(&[3.0, 3.0]), model.predict(&[3.0, 3.0]));
+        assert!(model.inertia < 1e-12);
+    }
+
+    #[test]
+    fn predict_assigns_nearest() {
+        let (rows, _) = three_blobs(40, 3);
+        let model = KMeans::fit(
+            &rows,
+            &KMeansConfig {
+                k: 3,
+                ..KMeansConfig::default()
+            },
+        );
+        let near_origin = model.predict(&[0.2, -0.1]);
+        let same = model.predict(&[0.0, 0.0]);
+        assert_eq!(near_origin, same);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let (rows, _) = three_blobs(40, 4);
+        let fit = |k| {
+            KMeans::fit(
+                &rows,
+                &KMeansConfig {
+                    k,
+                    ..KMeansConfig::default()
+                },
+            )
+            .inertia
+        };
+        assert!(fit(3) < fit(1));
+        assert!(fit(6) <= fit(3) + 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Feature standardization.
+//!
+//! FeMux standardizes block features (zero mean, unit variance) before
+//! clustering (§4.3.4, "StandardScaler"), so that features on wildly
+//! different scales — ADF statistics around -10, densities around 5 —
+//! contribute comparably to the k-means distance.
+
+/// A fitted per-column standardizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on a row-major feature matrix.
+    ///
+    /// Columns with zero variance are given a standard deviation of 1 so
+    /// transforming them yields zeros rather than NaNs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no rows");
+        let dims = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dims];
+        for row in rows {
+            assert_eq!(row.len(), dims, "ragged feature matrix");
+            for (m, x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dims];
+        for row in rows {
+            for ((s, x), m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Returns the feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transforms one row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.dims(), "dimension mismatch");
+        for ((x, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds)
+        {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Transforms a matrix, returning a new one.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|r| {
+                let mut row = r.clone();
+                self.transform_row(&mut row);
+                row
+            })
+            .collect()
+    }
+
+    /// Inverts the transformation for one row.
+    pub fn inverse_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.dims(), "dimension mismatch");
+        for ((x, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds)
+        {
+            *x = *x * s + m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_columns() {
+        let rows = vec![
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+        ];
+        let scaler = StandardScaler::fit(&rows);
+        let out = scaler.transform(&rows);
+        for col in 0..2 {
+            let mean: f64 =
+                out.iter().map(|r| r[col]).sum::<f64>() / 3.0;
+            let var: f64 =
+                out.iter().map(|r| r[col] * r[col]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12, "column {col} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "column {col} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let out = scaler.transform(&rows);
+        assert_eq!(out[0][0], 0.0);
+        assert_eq!(out[1][0], 0.0);
+        assert!(out[0][1].is_finite());
+    }
+
+    #[test]
+    fn round_trip() {
+        let rows = vec![vec![1.5, -3.0], vec![0.5, 9.0], vec![2.5, 0.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let mut row = rows[1].clone();
+        scaler.transform_row(&mut row);
+        scaler.inverse_row(&mut row);
+        assert!((row[0] - 0.5).abs() < 1e-12);
+        assert!((row[1] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rows")]
+    fn empty_fit_panics() {
+        StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_fit_panics() {
+        StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,433 @@
+//! CART decision trees and random forests.
+//!
+//! The paper compares FeMux's k-means assignment against supervised
+//! models (decision trees, random forests) that label each block with its
+//! best forecaster, and finds clustering ~15 % better on RUM because the
+//! cluster-level assignment tolerates mislabelled blocks (§4.3.4). These
+//! implementations exist to reproduce that comparison.
+
+use femux_stats::rng::Rng;
+
+/// A node in a CART tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        label: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Training hyperparameters for a decision tree.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// If set, the number of random features considered per split
+    /// (used by random forests); `None` considers all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 10,
+            min_samples_split: 4,
+            max_features: None,
+        }
+    }
+}
+
+/// A fitted CART classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    root: Node,
+    n_classes: usize,
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn majority(labels: &[usize], idx: &[usize], n_classes: usize) -> usize {
+    let mut counts = vec![0usize; n_classes];
+    for &i in idx {
+        counts[labels[i]] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(l, _)| l)
+        .unwrap_or(0)
+}
+
+impl DecisionTree {
+    /// Fits a tree on row-major features and class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or mismatched.
+    pub fn fit(
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        cfg: &TreeConfig,
+    ) -> Self {
+        Self::fit_seeded(rows, labels, cfg, &mut Rng::seed_from_u64(0))
+    }
+
+    /// Fits with an explicit RNG (for forests' feature subsampling).
+    pub fn fit_seeded(
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        cfg: &TreeConfig,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a tree on no rows");
+        assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
+        let n_classes =
+            labels.iter().copied().max().expect("non-empty") + 1;
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let root =
+            build(rows, labels, &idx, n_classes, cfg, 0, rng);
+        DecisionTree { root, n_classes }
+    }
+
+    /// Predicts the class of one row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Returns the number of classes seen at fit time.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+fn build(
+    rows: &[Vec<f64>],
+    labels: &[usize],
+    idx: &[usize],
+    n_classes: usize,
+    cfg: &TreeConfig,
+    depth: usize,
+    rng: &mut Rng,
+) -> Node {
+    let label = majority(labels, idx, n_classes);
+    if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+        return Node::Leaf { label };
+    }
+    // Pure node?
+    if idx.iter().all(|&i| labels[i] == labels[idx[0]]) {
+        return Node::Leaf { label };
+    }
+    let n_features = rows[0].len();
+    let feature_pool: Vec<usize> = match cfg.max_features {
+        Some(m) if m < n_features => {
+            rng.sample_indices(n_features, m)
+        }
+        _ => (0..n_features).collect(),
+    };
+    let parent_counts = {
+        let mut c = vec![0usize; n_classes];
+        for &i in idx {
+            c[labels[i]] += 1;
+        }
+        c
+    };
+    let parent_gini = gini(&parent_counts, idx.len());
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, thr)
+    for &f in &feature_pool {
+        // Sort members by this feature and scan split points.
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| {
+            rows[a][f]
+                .partial_cmp(&rows[b][f])
+                .expect("features must not be NaN")
+        });
+        let mut left_counts = vec![0usize; n_classes];
+        let mut right_counts = parent_counts.clone();
+        for (pos, window) in order.windows(2).enumerate() {
+            let i = window[0];
+            left_counts[labels[i]] += 1;
+            right_counts[labels[i]] -= 1;
+            let (a, b) = (rows[i][f], rows[window[1]][f]);
+            if a == b {
+                continue;
+            }
+            let n_left = pos + 1;
+            let n_right = idx.len() - n_left;
+            let weighted = (n_left as f64 * gini(&left_counts, n_left)
+                + n_right as f64 * gini(&right_counts, n_right))
+                / idx.len() as f64;
+            let gain = parent_gini - weighted;
+            if best.is_none_or(|(g, _, _)| gain > g) {
+                best = Some((gain, f, (a + b) / 2.0));
+            }
+        }
+    }
+    let Some((gain, feature, threshold)) = best else {
+        return Node::Leaf { label };
+    };
+    if gain <= 1e-12 {
+        return Node::Leaf { label };
+    }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| rows[i][feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return Node::Leaf { label };
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build(
+            rows, labels, &left_idx, n_classes, cfg, depth + 1, rng,
+        )),
+        right: Box::new(build(
+            rows, labels, &right_idx, n_classes, cfg, depth + 1, rng,
+        )),
+    }
+}
+
+/// A bagged random forest of CART trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+/// Training hyperparameters for a random forest.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration (feature subsampling defaults to sqrt(d)).
+    pub tree: TreeConfig,
+    /// RNG seed for bootstrap and feature sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 25,
+            tree: TreeConfig::default(),
+            seed: 0xF0_4E57,
+        }
+    }
+}
+
+impl RandomForest {
+    /// Fits a forest with bootstrap sampling and sqrt-feature splits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or mismatched.
+    pub fn fit(
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        cfg: &ForestConfig,
+    ) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a forest on no rows");
+        assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
+        let n_classes =
+            labels.iter().copied().max().expect("non-empty") + 1;
+        let n_features = rows[0].len();
+        let default_features =
+            ((n_features as f64).sqrt().ceil() as usize).max(1);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees {
+            // Bootstrap sample.
+            let mut boot_rows = Vec::with_capacity(rows.len());
+            let mut boot_labels = Vec::with_capacity(rows.len());
+            for _ in 0..rows.len() {
+                let i = rng.index(rows.len());
+                boot_rows.push(rows[i].clone());
+                boot_labels.push(labels[i]);
+            }
+            let tree_cfg = TreeConfig {
+                max_features: Some(
+                    cfg.tree.max_features.unwrap_or(default_features),
+                ),
+                ..cfg.tree.clone()
+            };
+            trees.push(DecisionTree::fit_seeded(
+                &boot_rows,
+                &boot_labels,
+                &tree_cfg,
+                &mut rng,
+            ));
+        }
+        RandomForest { trees, n_classes }
+    }
+
+    /// Predicts by majority vote.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for tree in &self.trees {
+            let p = tree.predict(row);
+            if p < votes.len() {
+                votes[p] += 1;
+            }
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(l, _)| l)
+            .unwrap_or(0)
+    }
+
+    /// Returns the number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Returns true if the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-ish dataset: class = (x > 0) ^ (y > 0).
+    fn xor_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let x = rng.range_f64(-1.0, 1.0);
+            let y = rng.range_f64(-1.0, 1.0);
+            rows.push(vec![x, y]);
+            labels.push(usize::from((x > 0.0) ^ (y > 0.0)));
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn tree_learns_axis_aligned_rule() {
+        let rows: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let labels: Vec<usize> =
+            (0..100).map(|i| usize::from(i >= 50)).collect();
+        let tree = DecisionTree::fit(&rows, &labels, &TreeConfig::default());
+        assert_eq!(tree.predict(&[0.1]), 0);
+        assert_eq!(tree.predict(&[0.9]), 1);
+        assert_eq!(tree.n_classes(), 2);
+    }
+
+    #[test]
+    fn tree_learns_xor() {
+        let (rows, labels) = xor_data(400, 1);
+        let tree = DecisionTree::fit(&rows, &labels, &TreeConfig::default());
+        let correct = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &l)| tree.predict(r) == l)
+            .count();
+        assert!(
+            correct as f64 / rows.len() as f64 > 0.95,
+            "accuracy {}",
+            correct as f64 / rows.len() as f64
+        );
+    }
+
+    #[test]
+    fn depth_zero_gives_majority() {
+        let (rows, mut labels) = xor_data(100, 2);
+        labels.iter_mut().take(80).for_each(|l| *l = 1);
+        let tree = DecisionTree::fit(
+            &rows,
+            &labels,
+            &TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            },
+        );
+        assert_eq!(tree.predict(&[0.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn forest_generalizes_on_xor() {
+        let (train_rows, train_labels) = xor_data(500, 3);
+        let (test_rows, test_labels) = xor_data(200, 4);
+        let forest = RandomForest::fit(
+            &train_rows,
+            &train_labels,
+            &ForestConfig::default(),
+        );
+        assert_eq!(forest.len(), 25);
+        let correct = test_rows
+            .iter()
+            .zip(&test_labels)
+            .filter(|(r, &l)| forest.predict(r) == l)
+            .count();
+        assert!(
+            correct as f64 / test_rows.len() as f64 > 0.9,
+            "held-out accuracy {}",
+            correct as f64 / test_rows.len() as f64
+        );
+    }
+
+    #[test]
+    fn forest_is_deterministic() {
+        let (rows, labels) = xor_data(150, 5);
+        let a = RandomForest::fit(&rows, &labels, &ForestConfig::default());
+        let b = RandomForest::fit(&rows, &labels, &ForestConfig::default());
+        for r in rows.iter().take(20) {
+            assert_eq!(a.predict(r), b.predict(r));
+        }
+    }
+
+    #[test]
+    fn single_class_dataset() {
+        let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![0, 0, 0];
+        let tree = DecisionTree::fit(&rows, &labels, &TreeConfig::default());
+        assert_eq!(tree.predict(&[99.0]), 0);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[10, 0], 10), 0.0);
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[], 0), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! FeMux configuration.
+
+use femux_classify::KMeansConfig;
+use femux_features::FeatureKind;
+use femux_forecast::ForecasterKind;
+use femux_rum::RumSpec;
+
+/// Configuration shared by FeMux's offline trainer and online manager.
+#[derive(Debug, Clone)]
+pub struct FemuxConfig {
+    /// Block length in steps (paper: 504 minutes).
+    pub block_len: usize,
+    /// Forecast history window in steps (paper: 120 minutes).
+    pub history: usize,
+    /// Features fed to the classifier.
+    pub features: Vec<FeatureKind>,
+    /// Candidate forecasters to multiplex between.
+    pub forecasters: Vec<ForecasterKind>,
+    /// The RUM this deployment optimizes.
+    pub rum: RumSpec,
+    /// K-means settings for the block classifier.
+    pub kmeans: KMeansConfig,
+    /// Cold-start duration assumed when labelling blocks, seconds
+    /// (paper default: 0.808).
+    pub cold_start_secs: f64,
+    /// Training-time refit stride in steps: during offline labelling a
+    /// forecaster is refit every `label_stride` steps and predicts that
+    /// many steps ahead (1 = refit every step, as deployed; larger
+    /// values trade labelling fidelity for training speed).
+    pub label_stride: usize,
+}
+
+impl Default for FemuxConfig {
+    fn default() -> Self {
+        FemuxConfig {
+            block_len: 504,
+            history: 120,
+            features: FeatureKind::DEFAULT.to_vec(),
+            forecasters: ForecasterKind::FEMUX_SET.to_vec(),
+            rum: RumSpec::default_paper(),
+            kmeans: KMeansConfig::default(),
+            cold_start_secs: 0.808,
+            label_stride: 10,
+        }
+    }
+}
+
+impl FemuxConfig {
+    /// The paper's FeMux-CS variant (4x cold-start weight).
+    pub fn cs_variant() -> Self {
+        FemuxConfig {
+            rum: RumSpec::femux_cs(),
+            ..FemuxConfig::default()
+        }
+    }
+
+    /// The paper's FeMux-Mem variant (4x memory weight).
+    pub fn mem_variant() -> Self {
+        FemuxConfig {
+            rum: RumSpec::femux_mem(),
+            ..FemuxConfig::default()
+        }
+    }
+
+    /// The paper's FeMux-Exec variant: exec-time-aware RUM plus the
+    /// execution-time feature (§5.1.3).
+    pub fn exec_variant() -> Self {
+        let mut features = FeatureKind::DEFAULT.to_vec();
+        features.push(FeatureKind::ExecTime);
+        FemuxConfig {
+            rum: RumSpec::femux_exec(),
+            features,
+            ..FemuxConfig::default()
+        }
+    }
+
+    /// A reduced configuration for unit tests: short blocks, few
+    /// forecasters.
+    pub fn for_tests() -> Self {
+        FemuxConfig {
+            block_len: 120,
+            history: 60,
+            label_stride: 15,
+            kmeans: KMeansConfig {
+                k: 3,
+                restarts: 2,
+                ..KMeansConfig::default()
+            },
+            forecasters: vec![
+                ForecasterKind::Ar,
+                ForecasterKind::Fft,
+                ForecasterKind::Ses,
+            ],
+            ..FemuxConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = FemuxConfig::default();
+        assert_eq!(cfg.block_len, 504);
+        assert_eq!(cfg.history, 120);
+        assert_eq!(cfg.forecasters.len(), 6);
+        assert!((cfg.cold_start_secs - 0.808).abs() < 1e-12);
+        assert_eq!(cfg.rum, RumSpec::default_paper());
+    }
+
+    #[test]
+    fn exec_variant_adds_feature() {
+        let cfg = FemuxConfig::exec_variant();
+        assert!(cfg.features.contains(&FeatureKind::ExecTime));
+        assert_eq!(cfg.rum, RumSpec::femux_exec());
+    }
+}

@@ -1,0 +1,329 @@
+//! Online per-application lifetime management (§4.3.5).
+//!
+//! Each application gets an [`AppManager`]: it ingests one average-
+//! concurrency sample per step, forecasts the next step with its current
+//! forecaster, and — whenever a new block completes — asynchronously
+//! re-classifies and switches forecasters. [`FemuxPolicy`] adapts the
+//! manager to the simulator's [`ScalingPolicy`] interface.
+
+use std::sync::Arc;
+
+use femux_features::Block;
+use femux_forecast::{Forecaster, ForecasterKind};
+use femux_sim::policy::{PolicyCtx, ScalingPolicy};
+
+use crate::model::FemuxModel;
+
+/// Online state for one application.
+pub struct AppManager {
+    model: Arc<FemuxModel>,
+    series: Vec<f64>,
+    exec_secs: f64,
+    current_kind: ForecasterKind,
+    forecaster: Box<dyn Forecaster>,
+    /// Every forecaster the app has used, in order (switch history —
+    /// Fig. 17 reports switching statistics).
+    pub history_of_kinds: Vec<ForecasterKind>,
+    next_block_end: usize,
+}
+
+impl AppManager {
+    /// Creates a manager starting on the model's default forecaster.
+    pub fn new(model: Arc<FemuxModel>, exec_secs: f64) -> Self {
+        let kind = model.default_forecaster;
+        AppManager {
+            next_block_end: model.cfg.block_len,
+            forecaster: kind.build(),
+            current_kind: kind,
+            history_of_kinds: vec![kind],
+            series: Vec::new(),
+            exec_secs,
+            model,
+        }
+    }
+
+    /// Returns the forecaster currently in use.
+    pub fn current(&self) -> ForecasterKind {
+        self.current_kind
+    }
+
+    /// Number of forecaster switches so far.
+    pub fn switches(&self) -> usize {
+        self.history_of_kinds
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count()
+    }
+
+    /// Number of distinct forecasters used.
+    pub fn distinct_forecasters(&self) -> usize {
+        let mut kinds = self.history_of_kinds.clone();
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds.len()
+    }
+
+    /// Ingests one step of observed average concurrency. When this
+    /// completes a block, the block is classified and the forecaster for
+    /// the next block selected (the paper does this asynchronously; the
+    /// classification itself takes well under 10 ms).
+    pub fn observe(&mut self, value: f64) {
+        self.series.push(value.max(0.0));
+        if self.series.len() >= self.next_block_end {
+            let lo = self.next_block_end - self.model.cfg.block_len;
+            let block = Block {
+                app_index: 0,
+                seq: 0,
+                series: self.series[lo..self.next_block_end].to_vec(),
+                exec_secs: self.exec_secs,
+            };
+            let kind = self.model.select(&block);
+            if kind != self.current_kind {
+                self.current_kind = kind;
+                self.forecaster = kind.build();
+            }
+            self.history_of_kinds.push(kind);
+            self.next_block_end += self.model.cfg.block_len;
+        }
+    }
+
+    /// Forecasts the next `horizon` steps from the trailing history
+    /// window.
+    pub fn forecast(&mut self, horizon: usize) -> Vec<f64> {
+        let start =
+            self.series.len().saturating_sub(self.model.cfg.history);
+        self.forecaster.forecast(&self.series[start..], horizon)
+    }
+}
+
+/// A serializable snapshot of an [`AppManager`]'s state.
+///
+/// The Knative prototype persists forecasting-thread state in etcd so
+/// FeMux pods can be rescheduled without losing application history
+/// (§5.2); this is the state that gets persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagerSnapshot {
+    /// Observed per-step concurrency so far.
+    pub series: Vec<f64>,
+    /// Forecaster currently in use.
+    pub current: ForecasterKind,
+    /// Full switch history.
+    pub history_of_kinds: Vec<ForecasterKind>,
+    /// Next block boundary (in steps).
+    pub next_block_end: usize,
+    /// The app's mean execution time, seconds.
+    pub exec_secs: f64,
+}
+
+impl AppManager {
+    /// Captures the manager's state for persistence.
+    pub fn snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot {
+            series: self.series.clone(),
+            current: self.current_kind,
+            history_of_kinds: self.history_of_kinds.clone(),
+            next_block_end: self.next_block_end,
+            exec_secs: self.exec_secs,
+        }
+    }
+
+    /// Rebuilds a manager from a snapshot (e.g. on another FeMux pod).
+    pub fn from_snapshot(
+        model: Arc<FemuxModel>,
+        snap: ManagerSnapshot,
+    ) -> Self {
+        AppManager {
+            forecaster: snap.current.build(),
+            current_kind: snap.current,
+            history_of_kinds: snap.history_of_kinds,
+            next_block_end: snap.next_block_end,
+            series: snap.series,
+            exec_secs: snap.exec_secs,
+            model,
+        }
+    }
+}
+
+/// FeMux as a simulator scaling policy: at each interval it ingests the
+/// newest observation and provisions the forecasted concurrency.
+///
+/// The forecast is an *average* concurrency; as in the Knative
+/// prototype, the autoscaler provisions it against a per-pod
+/// concurrency target scaled by a utilization factor (Knative's
+/// default 0.7), leaving headroom for within-interval peaks, and never
+/// scales below what is currently in flight.
+pub struct FemuxPolicy {
+    manager: AppManager,
+    /// Target per-pod utilization (0 < u <= 1; Knative default 0.7).
+    pub utilization: f64,
+}
+
+impl FemuxPolicy {
+    /// Creates the policy for one application.
+    pub fn new(model: Arc<FemuxModel>, exec_secs: f64) -> Self {
+        FemuxPolicy {
+            manager: AppManager::new(model, exec_secs),
+            utilization: 0.7,
+        }
+    }
+
+    /// Access to the underlying manager (switch statistics).
+    pub fn manager(&self) -> &AppManager {
+        &self.manager
+    }
+}
+
+impl ScalingPolicy for FemuxPolicy {
+    fn name(&self) -> String {
+        "femux".into()
+    }
+
+    fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize {
+        // Ingest every interval completed since the last call (exactly
+        // one per tick in the simulator).
+        let seen = self.manager.series.len();
+        for &v in &ctx.avg_concurrency[seen..] {
+            self.manager.observe(v);
+        }
+        let pred = self.manager.forecast(1)[0];
+        let target = (pred / self.utilization.clamp(0.05, 1.0))
+            .max(ctx.inflight as f64);
+        ctx.pods_for_concurrency(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FemuxConfig;
+    use crate::model::{train, ClassifierKind, TrainApp};
+    use femux_stats::rng::Rng;
+
+    fn model() -> Arc<FemuxModel> {
+        let cfg = FemuxConfig::for_tests();
+        let mut rng = Rng::seed_from_u64(1);
+        let apps: Vec<TrainApp> = (0..6)
+            .map(|i| {
+                let series: Vec<f64> = if i % 2 == 0 {
+                    (0..600)
+                        .map(|t| {
+                            5.0 + 4.0
+                                * (2.0 * std::f64::consts::PI * t as f64
+                                    / 24.0)
+                                    .sin()
+                        })
+                        .collect()
+                } else {
+                    (0..600).map(|_| (2.0 + rng.normal()).max(0.0)).collect()
+                };
+                TrainApp {
+                    concurrency: series,
+                    exec_secs: 0.5,
+                    mem_gb: 0.5,
+                    pod_concurrency: 1,
+                }
+            })
+            .collect();
+        Arc::new(train(&apps, &cfg, ClassifierKind::KMeans).expect("model"))
+    }
+
+    #[test]
+    fn starts_on_default_and_reclassifies_at_block_boundary() {
+        let model = model();
+        let mut mgr = AppManager::new(model.clone(), 0.5);
+        assert_eq!(mgr.current(), model.default_forecaster);
+        // Feed a strongly periodic signal for one full block: the block
+        // must be classified exactly once, and the resulting choice must
+        // match what the model selects for that block directly.
+        let series: Vec<f64> = (0..model.cfg.block_len)
+            .map(|t| {
+                5.0 + 4.0
+                    * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+            })
+            .collect();
+        for &v in &series {
+            mgr.observe(v);
+        }
+        assert_eq!(mgr.history_of_kinds.len(), 2);
+        let expected = model.select(&femux_features::Block {
+            app_index: 0,
+            seq: 0,
+            series,
+            exec_secs: 0.5,
+        });
+        assert_eq!(mgr.current(), expected);
+    }
+
+    #[test]
+    fn forecast_tracks_periodic_signal_after_switch() {
+        let model = model();
+        let mut mgr = AppManager::new(model.clone(), 0.5);
+        let f = |t: usize| {
+            5.0 + 4.0
+                * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+        };
+        let total = model.cfg.block_len + 60;
+        for t in 0..total {
+            mgr.observe(f(t));
+        }
+        let pred = mgr.forecast(1)[0];
+        let truth = f(total);
+        assert!(
+            (pred - truth).abs() < 1.0,
+            "pred {pred} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn switch_statistics() {
+        let model = model();
+        let mgr = AppManager::new(model, 0.5);
+        assert_eq!(mgr.switches(), 0);
+        assert_eq!(mgr.distinct_forecasters(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_behaviour() {
+        let model = model();
+        let mut original = AppManager::new(model.clone(), 0.5);
+        for t in 0..150 {
+            original.observe((2.0 + (t as f64 * 0.3).sin()).max(0.0));
+        }
+        let snap = original.snapshot();
+        let mut restored = AppManager::from_snapshot(model, snap.clone());
+        assert_eq!(restored.current(), original.current());
+        assert_eq!(restored.forecast(3), original.forecast(3));
+        // Both continue identically.
+        original.observe(1.5);
+        restored.observe(1.5);
+        assert_eq!(restored.snapshot(), original.snapshot());
+    }
+
+    #[test]
+    fn policy_provisions_forecasted_capacity() {
+        let model = model();
+        let mut policy = FemuxPolicy::new(model, 0.5);
+        let config = femux_trace::AppConfig {
+            concurrency: 1,
+            ..Default::default()
+        };
+        let history: Vec<f64> = vec![3.0; 10];
+        let ctx = PolicyCtx {
+            now_ms: 600_000,
+            interval_ms: 60_000,
+            avg_concurrency: &history,
+            peak_concurrency: &history,
+            arrivals: &history,
+            config: &config,
+            current_pods: 0,
+            inflight: 0,
+        };
+        let target = policy.target_pods(&ctx);
+        // Constant concurrency 3 with the 0.7 utilization headroom
+        // provisions ceil(3 / 0.7) = 5 pods at most.
+        assert!(
+            (3..=5).contains(&target),
+            "target {target} for constant load 3"
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! Block formation and latent feature extraction (§4.3.2 of the paper).
+//!
+//! FeMux divides each application's per-minute average-concurrency series
+//! into fixed **blocks** of 504 minutes (the BDS linearity test needs at
+//! least ~400 points; 504 also divides the 14-day Azure trace into an
+//! integer 40 blocks). Once a block completes, FeMux extracts latent
+//! features — stationarity (ADF), linearity (BDS), periodicity (harmonic
+//! prominence), and density — and feeds them to the classifier that picks
+//! the block's forecaster. Feature extraction takes well under the
+//! paper's 5 ms budget per block.
+
+use femux_stats::adf::adf_test_auto;
+use femux_stats::bds::bds_on_ar_residuals;
+use femux_stats::desc::mean;
+use femux_stats::fft::power_spectrum;
+
+/// The paper's block size in minutes.
+pub const BLOCK_MINUTES: usize = 504;
+
+/// A latent feature of a traffic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FeatureKind {
+    /// Augmented Dickey-Fuller statistic (more negative = more
+    /// stationary).
+    Stationarity,
+    /// |BDS| statistic on AR residuals (larger = more nonlinear).
+    Linearity,
+    /// Fraction of signal variance captured by the three strongest
+    /// harmonics (closer to 1 = more periodic).
+    Periodicity,
+    /// Total traffic mass in the block (log1p of summed concurrency).
+    Density,
+    /// Log execution time of the application (only used by FeMux-Exec,
+    /// §5.1.3).
+    ExecTime,
+}
+
+impl FeatureKind {
+    /// The paper's default feature set.
+    pub const DEFAULT: [FeatureKind; 4] = [
+        FeatureKind::Stationarity,
+        FeatureKind::Linearity,
+        FeatureKind::Periodicity,
+        FeatureKind::Density,
+    ];
+
+    /// All features including the exec-time extension.
+    pub const ALL: [FeatureKind; 5] = [
+        FeatureKind::Stationarity,
+        FeatureKind::Linearity,
+        FeatureKind::Periodicity,
+        FeatureKind::Density,
+        FeatureKind::ExecTime,
+    ];
+
+    /// A short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureKind::Stationarity => "stationarity",
+            FeatureKind::Linearity => "linearity",
+            FeatureKind::Periodicity => "periodicity",
+            FeatureKind::Density => "density",
+            FeatureKind::ExecTime => "exec-time",
+        }
+    }
+}
+
+/// A completed traffic block: one application's concurrency series over
+/// one block window, plus the metadata feature extraction needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Index of the application in its fleet.
+    pub app_index: usize,
+    /// Block sequence number within the application (0-based).
+    pub seq: usize,
+    /// Per-minute average concurrency (length = block size).
+    pub series: Vec<f64>,
+    /// Mean execution time of the application in seconds (for the
+    /// exec-time feature).
+    pub exec_secs: f64,
+}
+
+/// Splits a series into non-overlapping blocks of `block_len`, dropping
+/// the trailing partial block (FeMux only acts on completed blocks).
+///
+/// # Panics
+///
+/// Panics if `block_len == 0`.
+pub fn split_blocks(
+    app_index: usize,
+    series: &[f64],
+    block_len: usize,
+    exec_secs: f64,
+) -> Vec<Block> {
+    assert!(block_len > 0, "block length must be positive");
+    series
+        .chunks_exact(block_len)
+        .enumerate()
+        .map(|(seq, chunk)| Block {
+            app_index,
+            seq,
+            series: chunk.to_vec(),
+            exec_secs,
+        })
+        .collect()
+}
+
+/// Computes the stationarity feature: the ADF statistic, clamped to a
+/// sane range. Degenerate series (constant) report a strongly stationary
+/// value, since constant traffic is trivially predictable.
+pub fn stationarity(series: &[f64]) -> f64 {
+    match adf_test_auto(series) {
+        Some(res) => res.statistic.clamp(-30.0, 10.0),
+        None => -30.0,
+    }
+}
+
+/// Computes the linearity feature: |BDS| on AR(5) residuals, clamped.
+/// Returns 0 (no nonlinearity evidence) for degenerate series.
+pub fn linearity(series: &[f64]) -> f64 {
+    match bds_on_ar_residuals(series, 5, 2, 1.0) {
+        Some(res) => res.statistic.abs().min(50.0),
+        None => 0.0,
+    }
+}
+
+/// Computes the periodicity feature: the fraction of variance in the
+/// three strongest harmonics. 0 for flat series.
+pub fn periodicity(series: &[f64]) -> f64 {
+    let spectrum = power_spectrum(series);
+    if spectrum.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = spectrum.iter().sum();
+    if total <= 1e-12 {
+        return 0.0;
+    }
+    let mut top = spectrum.to_vec();
+    top.sort_by(|a, b| b.partial_cmp(a).expect("finite power"));
+    top.iter().take(3).sum::<f64>() / total
+}
+
+/// Computes the density feature: `ln(1 + sum(series))`.
+pub fn density(series: &[f64]) -> f64 {
+    (1.0 + series.iter().sum::<f64>()).ln()
+}
+
+/// Extracts the requested features from a block, in the order of
+/// `kinds`.
+pub fn extract(block: &Block, kinds: &[FeatureKind]) -> Vec<f64> {
+    kinds
+        .iter()
+        .map(|k| match k {
+            FeatureKind::Stationarity => stationarity(&block.series),
+            FeatureKind::Linearity => linearity(&block.series),
+            FeatureKind::Periodicity => periodicity(&block.series),
+            FeatureKind::Density => density(&block.series),
+            FeatureKind::ExecTime => (block.exec_secs.max(1e-4)).ln(),
+        })
+        .collect()
+}
+
+/// Extracts features for many blocks (rows of the classifier's design
+/// matrix).
+pub fn extract_all(
+    blocks: &[Block],
+    kinds: &[FeatureKind],
+) -> Vec<Vec<f64>> {
+    blocks.iter().map(|b| extract(b, kinds)).collect()
+}
+
+/// Convenience: true if a block has effectively no traffic, in which case
+/// FeMux's default forecaster is used instead of classification.
+pub fn is_idle(block: &Block) -> bool {
+    mean(&block.series) < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femux_stats::rng::Rng;
+
+    fn block_of(series: Vec<f64>) -> Block {
+        Block {
+            app_index: 0,
+            seq: 0,
+            series,
+            exec_secs: 0.5,
+        }
+    }
+
+    fn periodic_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                2.0 + (2.0 * std::f64::consts::PI * t as f64 / 60.0).sin()
+            })
+            .collect()
+    }
+
+    fn noise_series(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.normal().abs()).collect()
+    }
+
+    fn random_walk(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut acc = 50.0;
+        (0..n)
+            .map(|_| {
+                acc += rng.normal();
+                acc.max(0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_blocks_shapes() {
+        let series: Vec<f64> = (0..1_100).map(|i| i as f64).collect();
+        let blocks = split_blocks(3, &series, BLOCK_MINUTES, 1.0);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].series.len(), BLOCK_MINUTES);
+        assert_eq!(blocks[1].seq, 1);
+        assert_eq!(blocks[1].series[0], BLOCK_MINUTES as f64);
+        assert_eq!(blocks[0].app_index, 3);
+    }
+
+    #[test]
+    fn periodicity_separates_signals() {
+        let periodic = periodicity(&periodic_series(504));
+        let noisy = periodicity(&noise_series(504, 1));
+        assert!(periodic > 0.8, "periodic {periodic}");
+        assert!(noisy < 0.35, "noise {noisy}");
+    }
+
+    #[test]
+    fn stationarity_separates_signals() {
+        let stationary = stationarity(&noise_series(504, 2));
+        let wandering = stationarity(&random_walk(504, 3));
+        // -3.43 is the 1 % ADF critical value: white noise must reject
+        // the unit root decisively even with Schwert's generous lag
+        // count.
+        assert!(
+            stationary < -3.43,
+            "white noise should be strongly stationary: {stationary}"
+        );
+        assert!(wandering > -3.0, "random walk should not be: {wandering}");
+    }
+
+    #[test]
+    fn linearity_flags_threshold_dynamics() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut xs = vec![1.0];
+        for _ in 0..503 {
+            let prev = *xs.last().expect("non-empty");
+            let coef = if prev > 1.0 { 0.3 } else { 1.2 };
+            xs.push((coef * prev + 0.1 * rng.normal()).max(0.0));
+        }
+        let nonlinear = linearity(&xs);
+        let linear = linearity(&noise_series(504, 5));
+        assert!(
+            nonlinear > linear,
+            "nonlinear {nonlinear} vs linear {linear}"
+        );
+    }
+
+    #[test]
+    fn density_orders_by_mass() {
+        let quiet = density(&vec![0.01; 504]);
+        let busy = density(&vec![50.0; 504]);
+        assert!(busy > quiet);
+        assert_eq!(density(&vec![0.0; 504]), 0.0);
+    }
+
+    #[test]
+    fn extract_orders_follow_kinds() {
+        let block = block_of(periodic_series(504));
+        let kinds = [FeatureKind::Density, FeatureKind::Periodicity];
+        let feats = extract(&block, &kinds);
+        assert_eq!(feats.len(), 2);
+        assert!((feats[0] - density(&block.series)).abs() < 1e-12);
+        assert!((feats[1] - periodicity(&block.series)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exec_feature_is_log_scale() {
+        let mut block = block_of(vec![1.0; 504]);
+        block.exec_secs = 1.0;
+        let f1 = extract(&block, &[FeatureKind::ExecTime])[0];
+        block.exec_secs = std::f64::consts::E;
+        let f2 = extract(&block, &[FeatureKind::ExecTime])[0];
+        assert!((f1 - 0.0).abs() < 1e-12);
+        assert!((f2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_block_features_are_finite() {
+        let block = block_of(vec![3.0; 504]);
+        for f in extract(&block, &FeatureKind::ALL) {
+            assert!(f.is_finite());
+        }
+    }
+
+    #[test]
+    fn idle_detection() {
+        assert!(is_idle(&block_of(vec![0.0; 504])));
+        assert!(!is_idle(&block_of(vec![0.5; 504])));
+    }
+
+    #[test]
+    fn extract_all_gives_matrix() {
+        let blocks = vec![
+            block_of(periodic_series(504)),
+            block_of(noise_series(504, 6)),
+        ];
+        let rows = extract_all(&blocks, &FeatureKind::DEFAULT);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn feature_names_unique() {
+        let mut names: Vec<&str> =
+            FeatureKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FeatureKind::ALL.len());
+    }
+}

@@ -1,0 +1,113 @@
+//! FFT (harmonic) forecaster.
+//!
+//! Extrapolates the window's strongest harmonics into the future, as used
+//! by IceBreaker and by Huawei's characterization work, and as one of
+//! FeMux's multiplexed forecasters for *periodic* blocks. FeMux keeps the
+//! top 10 harmonics (§4.3.3).
+
+use femux_stats::fft::harmonic_extrapolate;
+
+use crate::Forecaster;
+
+/// A top-k harmonic extrapolation forecaster.
+#[derive(Debug, Clone)]
+pub struct FftForecaster {
+    harmonics: usize,
+}
+
+impl FftForecaster {
+    /// Creates an FFT forecaster keeping the `harmonics` strongest
+    /// components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `harmonics == 0`.
+    pub fn new(harmonics: usize) -> Self {
+        assert!(harmonics > 0, "need at least one harmonic");
+        FftForecaster { harmonics }
+    }
+
+    /// The paper's configuration: top 10 harmonics.
+    pub fn paper() -> Self {
+        FftForecaster::new(10)
+    }
+}
+
+impl Forecaster for FftForecaster {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn forecast(&mut self, history: &[f64], horizon: usize) -> Vec<f64> {
+        if history.is_empty() || horizon == 0 {
+            return vec![0.0; horizon];
+        }
+        harmonic_extrapolate(history, self.harmonics, horizon)
+            .into_iter()
+            .map(|p| p.max(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_signal_extrapolates() {
+        let n = 240;
+        let f = |t: f64| {
+            3.0 + 2.0
+                * (2.0 * std::f64::consts::PI * t / 60.0).sin()
+        };
+        let history: Vec<f64> = (0..n).map(|t| f(t as f64)).collect();
+        let mut fc = FftForecaster::paper();
+        let pred = fc.forecast(&history, 30);
+        for (h, p) in pred.iter().enumerate() {
+            let truth = f((n + h) as f64);
+            assert!((p - truth).abs() < 0.1, "h={h} {p} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn constant_signal_persists() {
+        let history = vec![4.0; 120];
+        let mut fc = FftForecaster::paper();
+        for p in fc.forecast(&history, 10) {
+            assert!((p - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_traffic_forecasts_zero() {
+        // The paper notes IceBreaker's FFT "often forecasts zero" for
+        // low-traffic apps — the harmonic mean of an all-zero window is
+        // zero.
+        let history = vec![0.0; 120];
+        let mut fc = FftForecaster::paper();
+        assert_eq!(fc.forecast(&history, 5), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn never_negative() {
+        // A strong harmonic around a small mean would dip negative
+        // without clamping.
+        let history: Vec<f64> = (0..120)
+            .map(|t| {
+                (0.5 + (2.0 * std::f64::consts::PI * t as f64 / 30.0)
+                    .sin())
+                .max(0.0)
+            })
+            .collect();
+        let mut fc = FftForecaster::new(3);
+        for p in fc.forecast(&history, 60) {
+            assert!(p >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_history() {
+        let mut fc = FftForecaster::paper();
+        assert_eq!(fc.forecast(&[], 4), vec![0.0; 4]);
+    }
+}

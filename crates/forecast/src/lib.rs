@@ -1,0 +1,220 @@
+//! Lightweight traffic forecasters for serverless lifetime management.
+//!
+//! FeMux multiplexes the forecasters in this crate per application block
+//! (§4.3.3 of the paper): [`ar::ArForecaster`] for stationary linear
+//! traffic, [`setar::SetarForecaster`] for piece-wise linear
+//! non-stationary traffic, [`fft::FftForecaster`] for periodic traffic,
+//! [`smoothing::SesForecaster`] / [`smoothing::HoltForecaster`] for dense
+//! trend-following, and [`markov::MarkovForecaster`] for repetitive
+//! patterns. [`simple`] holds the Knative moving-average and naive
+//! references, and [`lstm::LstmForecaster`] is the per-app neural model
+//! underpinning the Aquatope baseline.
+//!
+//! All forecasters consume a history window of per-step values (FeMux
+//! uses 120 minutes of per-minute average concurrency) and predict the
+//! next `horizon` steps. Refitting happens on every call; each model is
+//! cheap enough that a forecast completes in single-digit milliseconds,
+//! which is the property the paper's scalability study (§5.2) relies on.
+
+pub mod ar;
+pub mod fft;
+pub mod lstm;
+pub mod markov;
+pub mod seasonal;
+pub mod setar;
+pub mod simple;
+pub mod smoothing;
+
+/// A traffic forecaster.
+///
+/// Implementations must be deterministic given the same history: the
+/// offline training pipeline simulates forecasts for thousands of
+/// application blocks and relies on reproducibility.
+pub trait Forecaster: Send {
+    /// Stable, short identifier (used in experiment output and as the
+    /// classifier's label space).
+    fn name(&self) -> &'static str;
+
+    /// Forecasts the next `horizon` steps given the trailing history
+    /// window (oldest first). Returned values are clamped to be
+    /// non-negative; the vector always has exactly `horizon` entries.
+    fn forecast(&mut self, history: &[f64], horizon: usize) -> Vec<f64>;
+}
+
+/// The identity of a forecaster in FeMux's multiplexed set.
+///
+/// This enum is the label space of the block classifier and the unit of
+/// forecaster switching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ForecasterKind {
+    /// Autoregressive, 10 lags.
+    Ar,
+    /// Self-excitation threshold AR, 10 lags, up to 2 thresholds.
+    Setar,
+    /// Top-10-harmonic FFT extrapolation.
+    Fft,
+    /// Simple exponential smoothing, dynamic alpha.
+    Ses,
+    /// Holt double exponential smoothing, dynamic alpha/beta.
+    Holt,
+    /// Four-state Markov chain.
+    Markov,
+    /// Sliding-window moving average (Knative default behaviour).
+    MovingAverage,
+    /// Last-value persistence.
+    Naive,
+    /// Seasonal-naive with spectral season detection (extension
+    /// forecaster, not in the paper's set).
+    SeasonalNaive,
+}
+
+impl ForecasterKind {
+    /// FeMux's forecaster set as configured in the paper.
+    pub const FEMUX_SET: [ForecasterKind; 6] = [
+        ForecasterKind::Ar,
+        ForecasterKind::Setar,
+        ForecasterKind::Fft,
+        ForecasterKind::Ses,
+        ForecasterKind::Holt,
+        ForecasterKind::Markov,
+    ];
+
+    /// Every kind, including the reference forecasters.
+    pub const ALL: [ForecasterKind; 9] = [
+        ForecasterKind::Ar,
+        ForecasterKind::Setar,
+        ForecasterKind::Fft,
+        ForecasterKind::Ses,
+        ForecasterKind::Holt,
+        ForecasterKind::Markov,
+        ForecasterKind::MovingAverage,
+        ForecasterKind::Naive,
+        ForecasterKind::SeasonalNaive,
+    ];
+
+    /// Returns the kind's stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ForecasterKind::Ar => "ar",
+            ForecasterKind::Setar => "setar",
+            ForecasterKind::Fft => "fft",
+            ForecasterKind::Ses => "exp-smoothing",
+            ForecasterKind::Holt => "holt",
+            ForecasterKind::Markov => "markov",
+            ForecasterKind::MovingAverage => "moving-average",
+            ForecasterKind::Naive => "naive",
+            ForecasterKind::SeasonalNaive => "seasonal-naive",
+        }
+    }
+
+    /// Instantiates the forecaster with the paper's hyperparameters.
+    pub fn build(self) -> Box<dyn Forecaster> {
+        match self {
+            ForecasterKind::Ar => Box::new(ar::ArForecaster::paper()),
+            ForecasterKind::Setar => {
+                Box::new(setar::SetarForecaster::paper())
+            }
+            ForecasterKind::Fft => Box::new(fft::FftForecaster::paper()),
+            ForecasterKind::Ses => Box::new(smoothing::SesForecaster),
+            ForecasterKind::Holt => Box::new(smoothing::HoltForecaster),
+            ForecasterKind::Markov => {
+                Box::new(markov::MarkovForecaster::paper())
+            }
+            ForecasterKind::MovingAverage => {
+                Box::new(simple::MovingAverageForecaster::knative())
+            }
+            ForecasterKind::Naive => Box::new(simple::NaiveForecaster),
+            ForecasterKind::SeasonalNaive => {
+                Box::new(seasonal::SeasonalNaiveForecaster::auto())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ForecasterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Simulates rolling one-step forecasts over a series: at each step `t >=
+/// warmup`, the forecaster sees `series[t - window .. t]` (or less during
+/// early steps) and predicts step `t`. Returns the prediction for every
+/// step in `warmup..series.len()`.
+///
+/// This is the workhorse of the offline pipeline ("simulate forecasts for
+/// 13k applications", §4.3.3) and of the RUM-vs-MAE studies.
+pub fn rolling_forecast(
+    forecaster: &mut dyn Forecaster,
+    series: &[f64],
+    window: usize,
+    warmup: usize,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(series.len().saturating_sub(warmup));
+    for t in warmup..series.len() {
+        let start = t.saturating_sub(window);
+        out.push(forecaster.forecast(&series[start..t], 1)[0]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_unique_names() {
+        let mut names: Vec<&str> =
+            ForecasterKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ForecasterKind::ALL.len());
+    }
+
+    #[test]
+    fn build_matches_name() {
+        for kind in ForecasterKind::ALL {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn every_forecaster_returns_horizon_values() {
+        let history: Vec<f64> =
+            (0..150).map(|t| ((t % 11) as f64) / 2.0).collect();
+        for kind in ForecasterKind::ALL {
+            let mut f = kind.build();
+            for horizon in [0usize, 1, 5] {
+                let pred = f.forecast(&history, horizon);
+                assert_eq!(pred.len(), horizon, "{kind}");
+                assert!(
+                    pred.iter().all(|p| *p >= 0.0 && p.is_finite()),
+                    "{kind} produced invalid values"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_forecast_shape_and_causality() {
+        // A forecaster that echoes the last value should produce a
+        // shifted copy of the series, proving no lookahead.
+        let series: Vec<f64> = (0..50).map(|t| t as f64).collect();
+        let mut naive = simple::NaiveForecaster;
+        let preds = rolling_forecast(&mut naive, &series, 10, 5);
+        assert_eq!(preds.len(), 45);
+        for (k, p) in preds.iter().enumerate() {
+            assert_eq!(*p, (k + 4) as f64);
+        }
+    }
+
+    #[test]
+    fn femux_set_excludes_references() {
+        assert!(
+            !ForecasterKind::FEMUX_SET.contains(&ForecasterKind::Naive)
+        );
+        assert!(!ForecasterKind::FEMUX_SET
+            .contains(&ForecasterKind::MovingAverage));
+        assert_eq!(ForecasterKind::FEMUX_SET.len(), 6);
+    }
+}

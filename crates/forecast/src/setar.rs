@@ -1,0 +1,324 @@
+//! Self-Excitation Threshold Autoregressive (SETAR) forecaster.
+//!
+//! SETAR handles *piece-wise linear, non-stationary* traffic (§4.3.2 via
+//! Tong's threshold models): the series follows different AR dynamics
+//! depending on which side of one or two thresholds the delayed value
+//! `x_{t-d}` falls. FeMux configures 10 lags and up to two thresholds
+//! (§4.3.3). Thresholds are grid-searched over quantiles of the window to
+//! minimize in-sample squared error; each regime gets its own OLS fit.
+
+use femux_stats::matrix::{ols, Matrix};
+
+use crate::Forecaster;
+
+/// A SETAR(k; p) forecaster with up to two thresholds (three regimes).
+#[derive(Debug, Clone)]
+pub struct SetarForecaster {
+    order: usize,
+    max_thresholds: usize,
+    delay: usize,
+}
+
+/// A fitted regime: intercept plus AR coefficients.
+#[derive(Debug, Clone)]
+struct Regime {
+    beta: Vec<f64>,
+}
+
+impl Regime {
+    fn predict(&self, lags: &[f64]) -> f64 {
+        self.beta[0]
+            + lags
+                .iter()
+                .zip(&self.beta[1..])
+                .map(|(x, b)| x * b)
+                .sum::<f64>()
+    }
+}
+
+/// A fitted SETAR model: sorted thresholds and one regime per segment.
+#[derive(Debug, Clone)]
+struct Fitted {
+    thresholds: Vec<f64>,
+    regimes: Vec<Regime>,
+    order: usize,
+    delay: usize,
+}
+
+impl Fitted {
+    fn regime_index(&self, trigger: f64) -> usize {
+        self.thresholds.iter().filter(|t| trigger > **t).count()
+    }
+
+    /// Predicts the next value from the trailing `order` values
+    /// (`recent[len-1]` is the most recent observation).
+    fn predict_next(&self, recent: &[f64]) -> f64 {
+        let n = recent.len();
+        let trigger = recent[n - self.delay];
+        let regime = &self.regimes[self.regime_index(trigger)];
+        let lags: Vec<f64> =
+            (0..self.order).map(|i| recent[n - 1 - i]).collect();
+        regime.predict(&lags)
+    }
+}
+
+impl SetarForecaster {
+    /// Creates a SETAR forecaster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`, `delay == 0`, or `max_thresholds > 2`.
+    pub fn new(order: usize, max_thresholds: usize, delay: usize) -> Self {
+        assert!(order > 0 && delay > 0, "order and delay must be positive");
+        assert!(max_thresholds <= 2, "at most two thresholds supported");
+        SetarForecaster {
+            order,
+            max_thresholds,
+            delay,
+        }
+    }
+
+    /// The paper's configuration: 10 lags, up to two thresholds.
+    pub fn paper() -> Self {
+        SetarForecaster::new(10, 2, 1)
+    }
+
+    /// Fits regimes for a fixed threshold vector; returns the model and
+    /// its in-sample SSE, or `None` when a regime has too few points.
+    fn fit_with_thresholds(
+        &self,
+        history: &[f64],
+        thresholds: &[f64],
+    ) -> Option<(Fitted, f64)> {
+        let p = self.order;
+        let d = self.delay;
+        let start = p.max(d);
+        let n_rows = history.len().saturating_sub(start);
+        let n_regimes = thresholds.len() + 1;
+        if n_rows < (p + 2) * n_regimes {
+            return None;
+        }
+        // Partition sample rows by regime.
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n_regimes];
+        for t in start..history.len() {
+            let trigger = history[t - d];
+            let idx =
+                thresholds.iter().filter(|th| trigger > **th).count();
+            rows[idx].push(t);
+        }
+        let mut regimes = Vec::with_capacity(n_regimes);
+        for regime_rows in &rows {
+            if regime_rows.len() < p + 2 {
+                return None;
+            }
+            let mut design = Matrix::zeros(regime_rows.len(), p + 1);
+            let mut target = Vec::with_capacity(regime_rows.len());
+            for (r, &t) in regime_rows.iter().enumerate() {
+                design[(r, 0)] = 1.0;
+                for i in 0..p {
+                    design[(r, 1 + i)] = history[t - 1 - i];
+                }
+                target.push(history[t]);
+            }
+            let beta = ols(&design, &target)?;
+            regimes.push(Regime { beta });
+        }
+        let fitted = Fitted {
+            thresholds: thresholds.to_vec(),
+            regimes,
+            order: p,
+            delay: d,
+        };
+        // In-sample SSE.
+        let mut sse = 0.0;
+        for t in start..history.len() {
+            let pred = fitted.predict_next(&history[..t]);
+            let err = history[t] - pred;
+            sse += err * err;
+        }
+        Some((fitted, sse))
+    }
+
+    fn fit(&self, history: &[f64]) -> Option<Fitted> {
+        // Candidate thresholds: interior quantiles of the window.
+        let mut sorted = history.to_vec();
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b).expect("values must not be NaN")
+        });
+        let candidates: Vec<f64> = (1..=7)
+            .map(|q| {
+                femux_stats::desc::quantile_sorted(&sorted, q as f64 / 8.0)
+            })
+            .collect();
+        let mut best: Option<(Fitted, f64)> =
+            self.fit_with_thresholds(history, &[]);
+        if self.max_thresholds >= 1 {
+            for &c in &candidates {
+                if let Some((m, sse)) =
+                    self.fit_with_thresholds(history, &[c])
+                {
+                    if best.as_ref().is_none_or(|(_, b)| sse < *b) {
+                        best = Some((m, sse));
+                    }
+                }
+            }
+        }
+        if self.max_thresholds >= 2 {
+            for i in 0..candidates.len() {
+                for j in (i + 2)..candidates.len() {
+                    let pair = [candidates[i], candidates[j]];
+                    if pair[0] >= pair[1] {
+                        continue;
+                    }
+                    if let Some((m, sse)) =
+                        self.fit_with_thresholds(history, &pair)
+                    {
+                        if best.as_ref().is_none_or(|(_, b)| sse < *b) {
+                            best = Some((m, sse));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(m, _)| m)
+    }
+}
+
+impl Forecaster for SetarForecaster {
+    fn name(&self) -> &'static str {
+        "setar"
+    }
+
+    fn forecast(&mut self, history: &[f64], horizon: usize) -> Vec<f64> {
+        if history.is_empty() || horizon == 0 {
+            return vec![0.0; horizon];
+        }
+        let Some(model) = self.fit(history) else {
+            let last = history[history.len() - 1];
+            return vec![last.max(0.0); horizon];
+        };
+        // Iterating an (unconstrained) fitted model can diverge on
+        // multi-step horizons; cap predictions at a multiple of the
+        // window's peak — concurrency cannot explode within a horizon.
+        let cap = 10.0
+            * (1.0 + history.iter().fold(0.0f64, |a, &b| a.max(b)));
+        let mut series = history.to_vec();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let pred = model.predict_next(&series).clamp(0.0, cap);
+            series.push(pred);
+            out.push(pred);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femux_stats::rng::Rng;
+
+    /// Generates a two-regime threshold process.
+    fn setar_series(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut xs = vec![1.0];
+        for _ in 0..n {
+            let prev = *xs.last().expect("non-empty");
+            let next = if prev > 2.0 {
+                0.5 * prev + 0.05 * rng.normal()
+            } else {
+                1.0 + 0.9 * prev + 0.05 * rng.normal()
+            };
+            xs.push(next.max(0.0));
+        }
+        xs
+    }
+
+    #[test]
+    fn beats_plain_ar_on_threshold_process() {
+        let xs = setar_series(600, 1);
+        let (train, test) = xs.split_at(500);
+        let mut setar = SetarForecaster::new(3, 1, 1);
+        let mut ar = crate::ar::ArForecaster::new(3);
+        let mut window = train.to_vec();
+        let mut setar_err = 0.0;
+        let mut ar_err = 0.0;
+        for &truth in test {
+            let s = setar.forecast(&window, 1)[0];
+            let a = ar.forecast(&window, 1)[0];
+            setar_err += (s - truth) * (s - truth);
+            ar_err += (a - truth) * (a - truth);
+            window.push(truth);
+        }
+        assert!(
+            setar_err < ar_err,
+            "setar {setar_err} vs ar {ar_err}"
+        );
+    }
+
+    #[test]
+    fn linear_series_falls_back_to_single_regime_quality() {
+        // On a plain AR(1) process SETAR should not be much worse than
+        // its own zero-threshold fit (sanity: no catastrophic overfit).
+        let mut rng = Rng::seed_from_u64(2);
+        let mut xs = vec![0.0];
+        for _ in 0..400 {
+            let prev = *xs.last().expect("non-empty");
+            xs.push(2.0 + 0.6 * (prev - 2.0) + 0.1 * rng.normal());
+        }
+        let mut setar = SetarForecaster::paper();
+        let pred = setar.forecast(&xs, 10);
+        for p in &pred {
+            assert!((p - 2.0).abs() < 1.0, "prediction {p} far from mean");
+        }
+    }
+
+    #[test]
+    fn short_history_is_graceful() {
+        let mut f = SetarForecaster::paper();
+        assert_eq!(f.forecast(&[], 2), vec![0.0, 0.0]);
+        let pred = f.forecast(&[1.0, 2.0, 3.0], 2);
+        assert_eq!(pred, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn multi_step_never_diverges() {
+        // Regression: iterated SETAR predictions on a near-unit-root
+        // window must stay bounded by the clamp.
+        let mut xs: Vec<f64> = (0..150)
+            .map(|t| 5.0 + 0.049 * t as f64)
+            .collect();
+        xs[149] = 20.0; // a spike to excite the upper regime
+        let mut f = SetarForecaster::paper();
+        let cap = 10.0 * (1.0 + 20.0);
+        for p in f.forecast(&xs, 120) {
+            assert!(p <= cap + 1e-9, "prediction {p} exceeds cap {cap}");
+        }
+    }
+
+    #[test]
+    fn never_negative() {
+        let xs = setar_series(300, 3);
+        let mut f = SetarForecaster::paper();
+        for p in f.forecast(&xs, 20) {
+            assert!(p >= 0.0);
+        }
+    }
+
+    #[test]
+    fn regime_index_partitions() {
+        let fitted = Fitted {
+            thresholds: vec![1.0, 3.0],
+            regimes: vec![
+                Regime { beta: vec![0.0, 0.0] },
+                Regime { beta: vec![0.0, 0.0] },
+                Regime { beta: vec![0.0, 0.0] },
+            ],
+            order: 1,
+            delay: 1,
+        };
+        assert_eq!(fitted.regime_index(0.5), 0);
+        assert_eq!(fitted.regime_index(2.0), 1);
+        assert_eq!(fitted.regime_index(5.0), 2);
+    }
+}

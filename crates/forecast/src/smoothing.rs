@@ -1,0 +1,171 @@
+//! Exponential smoothing forecasters.
+//!
+//! For *dense* blocks without discernible structure (§4.3.2), FeMux falls
+//! back to trend followers: Simple Exponential Smoothing (SES) tracks a
+//! moving level, and Holt's double exponential smoothing adds a trend
+//! term. Both select their smoothing parameters dynamically by minimizing
+//! one-step-ahead squared error on the window (§4.3.3 "dynamic parameter
+//! selection").
+
+use crate::Forecaster;
+
+/// Candidate smoothing parameters for the dynamic grid search.
+const GRID: [f64; 9] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.85, 0.95];
+
+/// Runs SES over the series and returns (final level, SSE of one-step
+/// errors).
+fn ses_run(history: &[f64], alpha: f64) -> (f64, f64) {
+    let mut level = history[0];
+    let mut sse = 0.0;
+    for &x in &history[1..] {
+        let err = x - level;
+        sse += err * err;
+        level += alpha * err;
+    }
+    (level, sse)
+}
+
+/// Simple Exponential Smoothing with grid-searched `alpha`.
+#[derive(Debug, Clone, Default)]
+pub struct SesForecaster;
+
+impl Forecaster for SesForecaster {
+    fn name(&self) -> &'static str {
+        "exp-smoothing"
+    }
+
+    fn forecast(&mut self, history: &[f64], horizon: usize) -> Vec<f64> {
+        if history.is_empty() || horizon == 0 {
+            return vec![0.0; horizon];
+        }
+        if history.len() == 1 {
+            return vec![history[0].max(0.0); horizon];
+        }
+        let (level, _) = GRID
+            .iter()
+            .map(|&a| ses_run(history, a))
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1).expect("SSE values are finite")
+            })
+            .expect("grid is non-empty");
+        vec![level.max(0.0); horizon]
+    }
+}
+
+/// Runs Holt smoothing and returns (level, trend, SSE).
+fn holt_run(history: &[f64], alpha: f64, beta: f64) -> (f64, f64, f64) {
+    let mut level = history[0];
+    let mut trend = history[1] - history[0];
+    let mut sse = 0.0;
+    for &x in &history[1..] {
+        let pred = level + trend;
+        let err = x - pred;
+        sse += err * err;
+        let new_level = alpha * x + (1.0 - alpha) * (level + trend);
+        trend = beta * (new_level - level) + (1.0 - beta) * trend;
+        level = new_level;
+    }
+    (level, trend, sse)
+}
+
+/// Holt's linear (double exponential) smoothing with grid-searched
+/// `alpha` and `beta`.
+#[derive(Debug, Clone, Default)]
+pub struct HoltForecaster;
+
+impl Forecaster for HoltForecaster {
+    fn name(&self) -> &'static str {
+        "holt"
+    }
+
+    fn forecast(&mut self, history: &[f64], horizon: usize) -> Vec<f64> {
+        if history.is_empty() || horizon == 0 {
+            return vec![0.0; horizon];
+        }
+        if history.len() < 3 {
+            return vec![history[history.len() - 1].max(0.0); horizon];
+        }
+        let mut best = (f64::INFINITY, 0.0, 0.0);
+        for &alpha in &GRID {
+            for &beta in &GRID[..6] {
+                let (level, trend, sse) = holt_run(history, alpha, beta);
+                if sse < best.0 {
+                    best = (sse, level, trend);
+                }
+            }
+        }
+        let (_, level, trend) = best;
+        (1..=horizon)
+            .map(|h| (level + trend * h as f64).max(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femux_stats::rng::Rng;
+
+    #[test]
+    fn ses_tracks_level_shift() {
+        // Level jumps from 1 to 5 halfway; SES should forecast near 5.
+        let mut history = vec![1.0; 60];
+        history.extend(vec![5.0; 60]);
+        let mut f = SesForecaster;
+        let pred = f.forecast(&history, 3);
+        for p in pred {
+            assert!((p - 5.0).abs() < 0.2, "prediction {p}");
+        }
+    }
+
+    #[test]
+    fn ses_constant_is_exact() {
+        let mut f = SesForecaster;
+        assert_eq!(f.forecast(&[2.0; 50], 2), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn holt_extrapolates_trend() {
+        // y = 0.5 t: Holt must continue the ramp, SES cannot.
+        let history: Vec<f64> = (0..100).map(|t| 0.5 * t as f64).collect();
+        let mut holt = HoltForecaster;
+        let mut ses = SesForecaster;
+        let hp = holt.forecast(&history, 10);
+        let sp = ses.forecast(&history, 10);
+        let truth_10 = 0.5 * 109.0;
+        assert!((hp[9] - truth_10).abs() < 1.0, "holt {}", hp[9]);
+        assert!(sp[9] < hp[9], "ses {} should lag holt {}", sp[9], hp[9]);
+    }
+
+    #[test]
+    fn holt_handles_noise() {
+        let mut rng = Rng::seed_from_u64(1);
+        let history: Vec<f64> = (0..120)
+            .map(|t| 10.0 + 0.1 * t as f64 + rng.normal())
+            .collect();
+        let mut holt = HoltForecaster;
+        let pred = holt.forecast(&history, 5);
+        let truth = 10.0 + 0.1 * 124.0;
+        assert!((pred[4] - truth).abs() < 2.0, "pred {}", pred[4]);
+    }
+
+    #[test]
+    fn never_negative_even_with_downtrend() {
+        let history: Vec<f64> =
+            (0..60).map(|t| (30.0 - t as f64).max(0.0)).collect();
+        let mut holt = HoltForecaster;
+        for p in holt.forecast(&history, 60) {
+            assert!(p >= 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut ses = SesForecaster;
+        let mut holt = HoltForecaster;
+        assert_eq!(ses.forecast(&[], 2), vec![0.0, 0.0]);
+        assert_eq!(holt.forecast(&[], 2), vec![0.0, 0.0]);
+        assert_eq!(ses.forecast(&[7.0], 2), vec![7.0, 7.0]);
+        assert_eq!(holt.forecast(&[7.0, 8.0], 1), vec![8.0]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Forecasting-state persistence (the prototype's etcd role).
+//!
+//! §5.2: "we deploy a horizontal pod scaler to manage scaling FeMux
+//! pods, and use etcd to persist threads' states" — when a FeMux pod is
+//! rescheduled, its applications' forecasting state (history window,
+//! current forecaster, block progress) must survive. [`StateStore`] is a
+//! versioned, thread-safe key-value store standing in for etcd, plus a
+//! text codec for [`ManagerSnapshot`] so the stored values are plain
+//! strings as they would be in etcd.
+
+use std::collections::HashMap;
+
+use femux::manager::ManagerSnapshot;
+use femux_forecast::ForecasterKind;
+use parking_lot::RwLock;
+
+/// A versioned in-memory key-value store (etcd stand-in).
+#[derive(Debug, Default)]
+pub struct StateStore {
+    inner: RwLock<HashMap<String, (u64, String)>>,
+}
+
+impl StateStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        StateStore::default()
+    }
+
+    /// Writes a value, returning the new revision for the key.
+    pub fn put(&self, key: &str, value: String) -> u64 {
+        let mut map = self.inner.write();
+        let rev = map.get(key).map(|(r, _)| r + 1).unwrap_or(1);
+        map.insert(key.to_string(), (rev, value));
+        rev
+    }
+
+    /// Reads the latest value and its revision.
+    pub fn get(&self, key: &str) -> Option<(u64, String)> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Deletes a key; returns whether it existed.
+    pub fn delete(&self, key: &str) -> bool {
+        self.inner.write().remove(key).is_some()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Compare-and-swap: writes only if the current revision matches
+    /// `expected_rev` (0 = key must not exist). Returns the new revision
+    /// on success.
+    pub fn cas(
+        &self,
+        key: &str,
+        expected_rev: u64,
+        value: String,
+    ) -> Result<u64, u64> {
+        let mut map = self.inner.write();
+        let current = map.get(key).map(|(r, _)| *r).unwrap_or(0);
+        if current != expected_rev {
+            return Err(current);
+        }
+        let rev = current + 1;
+        map.insert(key.to_string(), (rev, value));
+        Ok(rev)
+    }
+}
+
+/// Encodes a snapshot as a line-oriented string value.
+pub fn encode_snapshot(snap: &ManagerSnapshot) -> String {
+    let kinds: Vec<&str> = snap
+        .history_of_kinds
+        .iter()
+        .map(|k| k.name())
+        .collect();
+    let series: Vec<String> =
+        snap.series.iter().map(|v| format!("{v:.9}")).collect();
+    format!(
+        "v1\ncurrent={}\nnext_block_end={}\nexec_secs={}\nhistory={}\nseries={}",
+        snap.current.name(),
+        snap.next_block_end,
+        snap.exec_secs,
+        kinds.join(","),
+        series.join(",")
+    )
+}
+
+fn parse_kind(name: &str) -> Option<ForecasterKind> {
+    ForecasterKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+/// Decodes a snapshot encoded by [`encode_snapshot`].
+pub fn decode_snapshot(text: &str) -> Option<ManagerSnapshot> {
+    let mut lines = text.lines();
+    if lines.next()? != "v1" {
+        return None;
+    }
+    let mut current = None;
+    let mut next_block_end = None;
+    let mut exec_secs = None;
+    let mut history = None;
+    let mut series = None;
+    for line in lines {
+        let (key, value) = line.split_once('=')?;
+        match key {
+            "current" => current = parse_kind(value),
+            "next_block_end" => next_block_end = value.parse().ok(),
+            "exec_secs" => exec_secs = value.parse().ok(),
+            "history" => {
+                history = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(parse_kind)
+                    .collect::<Option<Vec<_>>>();
+            }
+            "series" => {
+                series = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse::<f64>().ok())
+                    .collect::<Option<Vec<_>>>();
+            }
+            _ => return None,
+        }
+    }
+    Some(ManagerSnapshot {
+        series: series.unwrap_or_default(),
+        current: current?,
+        history_of_kinds: history.unwrap_or_default(),
+        next_block_end: next_block_end?,
+        exec_secs: exec_secs?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> ManagerSnapshot {
+        ManagerSnapshot {
+            series: vec![0.0, 1.5, 2.25, 0.125],
+            current: ForecasterKind::Markov,
+            history_of_kinds: vec![
+                ForecasterKind::Ses,
+                ForecasterKind::Markov,
+            ],
+            next_block_end: 240,
+            exec_secs: 0.5,
+        }
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let snap = snapshot();
+        let text = encode_snapshot(&snap);
+        let back = decode_snapshot(&text).expect("decodes");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert!(decode_snapshot("").is_none());
+        assert!(decode_snapshot("v2\ncurrent=ar").is_none());
+        assert!(decode_snapshot("v1\ncurrent=warp-drive").is_none());
+    }
+
+    #[test]
+    fn store_versions_and_cas() {
+        let store = StateStore::new();
+        assert!(store.is_empty());
+        let r1 = store.put("app-1", "a".into());
+        let r2 = store.put("app-1", "b".into());
+        assert_eq!((r1, r2), (1, 2));
+        assert_eq!(store.get("app-1"), Some((2, "b".into())));
+        // Stale CAS fails and reports the real revision.
+        assert_eq!(store.cas("app-1", 1, "c".into()), Err(2));
+        assert_eq!(store.cas("app-1", 2, "c".into()), Ok(3));
+        // CAS-create semantics.
+        assert_eq!(store.cas("app-2", 0, "x".into()), Ok(1));
+        assert_eq!(store.len(), 2);
+        assert!(store.delete("app-2"));
+        assert!(!store.delete("app-2"));
+    }
+
+    #[test]
+    fn snapshot_survives_pod_reschedule() {
+        // Manager state written by one "pod" restores on another.
+        let store = StateStore::new();
+        let snap = snapshot();
+        store.put("apps/42", encode_snapshot(&snap));
+        let (_, text) = store.get("apps/42").expect("persisted");
+        let restored = decode_snapshot(&text).expect("decodes");
+        assert_eq!(restored, snap);
+    }
+}

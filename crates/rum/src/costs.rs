@@ -1,0 +1,159 @@
+//! Cost records: the raw quantities RUMs are computed from.
+//!
+//! Every lifetime-management experiment in the paper reduces to a handful
+//! of per-application totals — cold-start seconds, wasted/allocated
+//! GB-seconds, execution time, invocation and cold-start counts. The
+//! simulator emits one [`CostRecord`] per application; RUM formulations
+//! and prior-work metrics are all functions of these records.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated costs for one application over a simulated span.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostRecord {
+    /// Total invocations served.
+    pub invocations: u64,
+    /// Invocations that experienced a cold start.
+    pub cold_starts: u64,
+    /// Total cold-start latency paid, in seconds.
+    pub cold_start_seconds: f64,
+    /// Pod-time spent idle (allocated but not executing), weighted by the
+    /// app's memory footprint, in GB-seconds.
+    pub wasted_gb_seconds: f64,
+    /// Total pod-time allocated, weighted by memory, in GB-seconds.
+    pub allocated_gb_seconds: f64,
+    /// Total execution time across invocations, in seconds.
+    pub exec_seconds: f64,
+    /// Total service time (queuing + cold start + execution), seconds.
+    pub service_seconds: f64,
+}
+
+impl CostRecord {
+    /// Fraction of invocations that were cold, or 0 for idle apps.
+    pub fn cold_start_fraction(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.cold_starts as f64 / self.invocations as f64
+        }
+    }
+
+    /// Merges another record into this one (summing all fields).
+    pub fn merge(&mut self, other: &CostRecord) {
+        self.invocations += other.invocations;
+        self.cold_starts += other.cold_starts;
+        self.cold_start_seconds += other.cold_start_seconds;
+        self.wasted_gb_seconds += other.wasted_gb_seconds;
+        self.allocated_gb_seconds += other.allocated_gb_seconds;
+        self.exec_seconds += other.exec_seconds;
+        self.service_seconds += other.service_seconds;
+    }
+
+    /// Validates internal consistency: counts and costs non-negative,
+    /// cold starts bounded by invocations, waste bounded by allocation.
+    pub fn check(&self) -> Result<(), String> {
+        if self.cold_starts > self.invocations {
+            return Err(format!(
+                "{} cold starts exceed {} invocations",
+                self.cold_starts, self.invocations
+            ));
+        }
+        for (name, v) in [
+            ("cold_start_seconds", self.cold_start_seconds),
+            ("wasted_gb_seconds", self.wasted_gb_seconds),
+            ("allocated_gb_seconds", self.allocated_gb_seconds),
+            ("exec_seconds", self.exec_seconds),
+            ("service_seconds", self.service_seconds),
+        ] {
+            if v.is_nan() || v < 0.0 {
+                return Err(format!("{name} is negative or NaN: {v}"));
+            }
+        }
+        // Allow a small tolerance for rounding at interval edges.
+        if self.wasted_gb_seconds > self.allocated_gb_seconds * 1.0001 + 1e-6
+        {
+            return Err(format!(
+                "waste {} exceeds allocation {}",
+                self.wasted_gb_seconds, self.allocated_gb_seconds
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Sums a set of per-application records into a fleet total.
+pub fn aggregate<'a, I>(records: I) -> CostRecord
+where
+    I: IntoIterator<Item = &'a CostRecord>,
+{
+    let mut total = CostRecord::default();
+    for r in records {
+        total.merge(r);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CostRecord {
+        CostRecord {
+            invocations: 100,
+            cold_starts: 4,
+            cold_start_seconds: 3.2,
+            wasted_gb_seconds: 50.0,
+            allocated_gb_seconds: 120.0,
+            exec_seconds: 70.0,
+            service_seconds: 73.2,
+        }
+    }
+
+    #[test]
+    fn fraction_and_merge() {
+        let mut a = sample();
+        assert!((a.cold_start_fraction() - 0.04).abs() < 1e-12);
+        a.merge(&sample());
+        assert_eq!(a.invocations, 200);
+        assert!((a.cold_start_seconds - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(CostRecord::default().cold_start_fraction(), 0.0);
+    }
+
+    #[test]
+    fn check_accepts_valid() {
+        assert!(sample().check().is_ok());
+    }
+
+    #[test]
+    fn check_rejects_impossible_counts() {
+        let mut r = sample();
+        r.cold_starts = 200;
+        assert!(r.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_waste_above_allocation() {
+        let mut r = sample();
+        r.wasted_gb_seconds = 200.0;
+        assert!(r.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_nan() {
+        let mut r = sample();
+        r.exec_seconds = f64::NAN;
+        assert!(r.check().is_err());
+    }
+
+    #[test]
+    fn aggregate_sums() {
+        let records = vec![sample(), sample(), CostRecord::default()];
+        let total = aggregate(&records);
+        assert_eq!(total.invocations, 200);
+        assert_eq!(total.cold_starts, 8);
+    }
+}

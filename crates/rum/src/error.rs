@@ -1,0 +1,121 @@
+//! Statistical error metrics.
+//!
+//! §4.2.1 of the paper contrasts generic accuracy metrics (MAE, SMAPE)
+//! with RUM: the same pair of forecasters can rank differently under MAE
+//! and under the system metric that actually matters. These functions are
+//! used by the `c1_metric_disagreement` experiment and by forecaster
+//! tests.
+
+/// Mean Absolute Error between forecasts and truth.
+///
+/// Returns 0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mae(forecast: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(forecast.len(), truth.len(), "length mismatch");
+    if forecast.is_empty() {
+        return 0.0;
+    }
+    forecast
+        .iter()
+        .zip(truth)
+        .map(|(f, t)| (f - t).abs())
+        .sum::<f64>()
+        / forecast.len() as f64
+}
+
+/// Symmetric Mean Absolute Percentage Error, in `[0, 2]`.
+///
+/// Uses the convention that a term with both forecast and truth equal to
+/// zero contributes zero error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn smape(forecast: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(forecast.len(), truth.len(), "length mismatch");
+    if forecast.is_empty() {
+        return 0.0;
+    }
+    forecast
+        .iter()
+        .zip(truth)
+        .map(|(f, t)| {
+            let denom = f.abs() + t.abs();
+            if denom == 0.0 {
+                0.0
+            } else {
+                2.0 * (f - t).abs() / denom
+            }
+        })
+        .sum::<f64>()
+        / forecast.len() as f64
+}
+
+/// Root Mean Squared Error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(forecast: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(forecast.len(), truth.len(), "length mismatch");
+    if forecast.is_empty() {
+        return 0.0;
+    }
+    (forecast
+        .iter()
+        .zip(truth)
+        .map(|(f, t)| (f - t) * (f - t))
+        .sum::<f64>()
+        / forecast.len() as f64)
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&[1.0, 2.0], &[2.0, 4.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smape_bounds_and_symmetry() {
+        let a = [1.0, 5.0, 0.0];
+        let b = [2.0, 3.0, 0.0];
+        let s1 = smape(&a, &b);
+        let s2 = smape(&b, &a);
+        assert!((s1 - s2).abs() < 1e-12);
+        assert!((0.0..=2.0).contains(&s1));
+    }
+
+    #[test]
+    fn smape_zero_zero_is_zero() {
+        assert_eq!(smape(&[0.0], &[0.0]), 0.0);
+        // Completely wrong sign-free forecast hits the max of 2.
+        assert!((smape(&[1.0], &[0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let f = [0.0, 0.0, 0.0, 0.0];
+        let t = [0.0, 0.0, 0.0, 4.0];
+        assert!(rmse(&f, &t) > mae(&f, &t));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(smape(&[], &[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Fleet-level simulation: run a policy over every application of a
+//! trace and collect per-application cost records.
+//!
+//! Policies are stateful per application (forecasters accumulate
+//! history), so the caller provides a *factory* that builds one policy
+//! instance per app.
+
+use femux_rum::CostRecord;
+use femux_trace::types::{AppRecord, Trace};
+
+use crate::engine::{simulate_app, SimConfig, SimResult};
+use crate::policy::ScalingPolicy;
+
+/// Per-application outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// One cost record per application, in trace order.
+    pub per_app: Vec<CostRecord>,
+    /// Fleet-wide totals.
+    pub total: CostRecord,
+}
+
+impl FleetOutcome {
+    /// Fleet cold-start fraction.
+    pub fn cold_start_fraction(&self) -> f64 {
+        self.total.cold_start_fraction()
+    }
+}
+
+/// Runs `make_policy(app_index, app)` over every app in the trace.
+pub fn run_fleet<F>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    mut make_policy: F,
+) -> FleetOutcome
+where
+    F: FnMut(usize, &AppRecord) -> Box<dyn ScalingPolicy>,
+{
+    let mut per_app = Vec::with_capacity(trace.apps.len());
+    let mut total = CostRecord::default();
+    for (i, app) in trace.apps.iter().enumerate() {
+        let mut policy = make_policy(i, app);
+        let result = simulate_app(app, policy.as_mut(), trace.span_ms, cfg);
+        total.merge(&result.costs);
+        per_app.push(result.costs);
+    }
+    FleetOutcome { per_app, total }
+}
+
+/// Runs `make_policy` over every app in parallel across `threads`
+/// workers. The policy factory must be callable from any worker, so it
+/// takes `&Fn` (stateless construction); results are identical to
+/// [`run_fleet`] since applications are independent.
+pub fn run_fleet_parallel<F>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    threads: usize,
+    make_policy: F,
+) -> FleetOutcome
+where
+    F: Fn(usize, &AppRecord) -> Box<dyn ScalingPolicy> + Sync,
+{
+    let threads = threads.max(1);
+    let n = trace.apps.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<CostRecord>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let app = &trace.apps[i];
+                let mut policy = make_policy(i, app);
+                let result =
+                    simulate_app(app, policy.as_mut(), trace.span_ms, cfg);
+                *results[i].lock().expect("no poisoned locks") =
+                    Some(result.costs);
+            });
+        }
+    });
+    let per_app: Vec<CostRecord> = results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no poisoned locks")
+                .expect("every app simulated")
+        })
+        .collect();
+    let mut total = CostRecord::default();
+    for r in &per_app {
+        total.merge(r);
+    }
+    FleetOutcome { per_app, total }
+}
+
+/// Runs the fleet but also returns the full [`SimResult`] per app
+/// (including delay vectors and concurrency series) — used by the
+/// characterization and Knative-comparison experiments.
+pub fn run_fleet_detailed<F>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    mut make_policy: F,
+) -> Vec<SimResult>
+where
+    F: FnMut(usize, &AppRecord) -> Box<dyn ScalingPolicy>,
+{
+    trace
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, app)| {
+            let mut policy = make_policy(i, app);
+            simulate_app(app, policy.as_mut(), trace.span_ms, cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{KeepAlivePolicy, ZeroPolicy};
+    use femux_trace::synth::ibm::{generate, IbmFleetConfig};
+
+    #[test]
+    fn fleet_totals_are_sums() {
+        let trace = generate(&IbmFleetConfig::small(11));
+        let cfg = SimConfig::default();
+        let out = run_fleet(&trace, &cfg, |_, _| Box::new(ZeroPolicy));
+        let mut merged = CostRecord::default();
+        for r in &out.per_app {
+            r.check().expect("per-app record consistent");
+            merged.merge(r);
+        }
+        assert_eq!(merged.invocations, out.total.invocations);
+        assert_eq!(
+            out.total.invocations,
+            trace.total_invocations(),
+            "every invocation must be served exactly once"
+        );
+    }
+
+    #[test]
+    fn keep_alive_trades_memory_for_cold_starts() {
+        let trace = generate(&IbmFleetConfig::small(12));
+        // Disable min-scale so the trade-off is visible.
+        let cfg = SimConfig {
+            respect_min_scale: false,
+            ..SimConfig::default()
+        };
+        let zero = run_fleet(&trace, &cfg, |_, _| Box::new(ZeroPolicy));
+        let ka = run_fleet(&trace, &cfg, |_, _| {
+            Box::new(KeepAlivePolicy::ten_minutes())
+        });
+        assert!(
+            ka.total.cold_starts < zero.total.cold_starts,
+            "keep-alive should reduce cold starts: {} vs {}",
+            ka.total.cold_starts,
+            zero.total.cold_starts
+        );
+        assert!(
+            ka.total.wasted_gb_seconds > zero.total.wasted_gb_seconds,
+            "keep-alive should waste more memory"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let trace = generate(&IbmFleetConfig::small(14));
+        let cfg = SimConfig::default();
+        let seq = run_fleet(&trace, &cfg, |_, _| Box::new(ZeroPolicy));
+        let par = run_fleet_parallel(&trace, &cfg, 4, |_, _| {
+            Box::new(ZeroPolicy)
+        });
+        assert_eq!(seq.per_app, par.per_app);
+        assert_eq!(seq.total, par.total);
+    }
+
+    #[test]
+    fn min_scale_suppresses_cold_starts_fleetwide() {
+        let trace = generate(&IbmFleetConfig::small(13));
+        let with = run_fleet(&trace, &SimConfig::default(), |_, _| {
+            Box::new(ZeroPolicy)
+        });
+        let without = run_fleet(
+            &trace,
+            &SimConfig {
+                respect_min_scale: false,
+                ..SimConfig::default()
+            },
+            |_, _| Box::new(ZeroPolicy),
+        );
+        assert!(with.total.cold_starts < without.total.cold_starts);
+        assert!(with.cold_start_fraction() < without.cold_start_fraction());
+    }
+}

@@ -1,0 +1,30 @@
+//! Discrete-event serverless platform simulator.
+//!
+//! The paper's primary evaluation methodology (§5) is trace-driven
+//! simulation of lifetime-management policies at production scale. This
+//! crate provides that substrate:
+//!
+//! - [`engine`]: per-application replay with pods, per-pod concurrency,
+//!   cold-start latency, interval-based scaling, the paper's override
+//!   rules (no mid-execution preemption; cold-start pods protected to
+//!   the interval end), minimum-scale floors, and AWS-style scale-out
+//!   rate limits. Produces [`femux_rum::CostRecord`]s.
+//! - [`policy`]: the [`policy::ScalingPolicy`] trait plus reference
+//!   policies — fixed keep-alive (1/5/10 min), Knative's default
+//!   reactive autoscaling, and a generic forecaster-driven policy.
+//! - [`fleet`]: running a policy factory over a whole trace.
+
+pub mod engine;
+pub mod fleet;
+pub mod policy;
+
+pub use engine::{
+    simulate_app, ScaleEvent, ScaleLimit, SimConfig, SimResult,
+};
+pub use fleet::{
+    run_fleet, run_fleet_detailed, run_fleet_parallel, FleetOutcome,
+};
+pub use policy::{
+    FixedPolicy, ForecastPolicy, KeepAlivePolicy, KnativeDefaultPolicy,
+    PolicyCtx, ScalingPolicy, ZeroPolicy,
+};

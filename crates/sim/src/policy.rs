@@ -1,0 +1,210 @@
+//! Scaling-policy interface and built-in reference policies.
+//!
+//! A [`ScalingPolicy`] is consulted at every scaling interval with the
+//! application's observed traffic history and returns the desired number
+//! of warm pods. The simulator applies the paper's override rules on top:
+//! pods are never preempted mid-execution, pods provisioned by a cold
+//! start live at least to the end of the interval, and the user's
+//! minimum-scale floor always holds (§4.3.5).
+
+use femux_trace::types::AppConfig;
+
+/// Everything a policy may inspect when making a scaling decision.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    /// Current simulation time (an interval boundary), ms.
+    pub now_ms: u64,
+    /// Scaling interval length, ms.
+    pub interval_ms: u64,
+    /// Average concurrency observed in each completed interval
+    /// (Knative's representation; index 0 is the oldest).
+    pub avg_concurrency: &'a [f64],
+    /// Peak instantaneous concurrency per completed interval.
+    pub peak_concurrency: &'a [f64],
+    /// Invocation arrivals per completed interval (the representation
+    /// used by IceBreaker/Aquatope-style systems).
+    pub arrivals: &'a [f64],
+    /// The application's configuration.
+    pub config: &'a AppConfig,
+    /// Pods currently allocated (warm or warming).
+    pub current_pods: usize,
+    /// Requests currently in flight (queued + executing).
+    pub inflight: usize,
+}
+
+impl PolicyCtx<'_> {
+    /// Converts a concurrency target into a pod count under the app's
+    /// per-pod concurrency limit.
+    pub fn pods_for_concurrency(&self, concurrency: f64) -> usize {
+        if concurrency <= 0.0 {
+            0
+        } else {
+            (concurrency / self.config.concurrency as f64).ceil() as usize
+        }
+    }
+}
+
+/// A lifetime-management scaling policy.
+pub trait ScalingPolicy: Send {
+    /// Human-readable policy name for experiment output.
+    fn name(&self) -> String;
+
+    /// Desired number of pods for the next interval.
+    fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize;
+}
+
+/// Keep-alive policy: keeps enough pods for the peak concurrency seen in
+/// the trailing `window_secs` (the classic "N-minute keep-alive" that
+/// AWS/Huawei employ and prior work simulates).
+#[derive(Debug, Clone)]
+pub struct KeepAlivePolicy {
+    window_secs: u64,
+}
+
+impl KeepAlivePolicy {
+    /// Creates a keep-alive policy with the given window.
+    pub fn new(window_secs: u64) -> Self {
+        KeepAlivePolicy { window_secs }
+    }
+
+    /// AWS-style 5-minute keep-alive.
+    pub fn five_minutes() -> Self {
+        KeepAlivePolicy::new(300)
+    }
+
+    /// The 10-minute keep-alive used as IceBreaker's/Aquatope's
+    /// normalization baseline.
+    pub fn ten_minutes() -> Self {
+        KeepAlivePolicy::new(600)
+    }
+
+    /// Huawei/Knative-style 1-minute keep-alive.
+    pub fn one_minute() -> Self {
+        KeepAlivePolicy::new(60)
+    }
+}
+
+impl ScalingPolicy for KeepAlivePolicy {
+    fn name(&self) -> String {
+        format!("keep-alive-{}s", self.window_secs)
+    }
+
+    fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize {
+        let intervals = ((self.window_secs * 1_000) / ctx.interval_ms)
+            .max(1) as usize;
+        let start = ctx.peak_concurrency.len().saturating_sub(intervals);
+        let peak = ctx.peak_concurrency[start..]
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b))
+            .max(ctx.inflight as f64);
+        ctx.pods_for_concurrency(peak)
+    }
+}
+
+/// Knative's default reactive policy: the average concurrency over a
+/// 60-second stable window, divided by the per-pod target concurrency.
+/// Scale-to-zero happens only after the window has been idle.
+#[derive(Debug, Clone, Default)]
+pub struct KnativeDefaultPolicy;
+
+impl ScalingPolicy for KnativeDefaultPolicy {
+    fn name(&self) -> String {
+        "knative-default".into()
+    }
+
+    fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize {
+        let intervals =
+            (60_000 / ctx.interval_ms).max(1) as usize;
+        let start = ctx.avg_concurrency.len().saturating_sub(intervals);
+        let window = &ctx.avg_concurrency[start..];
+        if window.is_empty() {
+            return ctx.pods_for_concurrency(ctx.inflight as f64);
+        }
+        let avg = window.iter().sum::<f64>() / window.len() as f64;
+        // Knative enters "panic mode" when short-term demand doubles the
+        // stable target; model it as taking the max with the immediate
+        // need.
+        let need_now = ctx.inflight as f64;
+        ctx.pods_for_concurrency(avg.max(need_now))
+    }
+}
+
+/// A policy driven by any [`femux_forecast::Forecaster`]: forecasts the
+/// next interval's average concurrency from the trailing history window
+/// and provisions exactly that capacity.
+pub struct ForecastPolicy {
+    forecaster: Box<dyn femux_forecast::Forecaster>,
+    /// Number of past intervals fed to the forecaster (paper: two hours).
+    pub history: usize,
+    /// Multiplicative headroom on the forecast.
+    pub headroom: f64,
+    /// Forecast horizon in intervals; the policy provisions for the
+    /// *peak* of the horizon. The paper's forecasters predict "the
+    /// incoming minute worth of traffic", so a 10-second scaling loop
+    /// uses a 6-interval horizon while a 60-second loop uses 1.
+    pub horizon: usize,
+}
+
+impl ForecastPolicy {
+    /// Wraps a forecaster with the paper's two-hour history window and a
+    /// one-interval horizon.
+    pub fn new(forecaster: Box<dyn femux_forecast::Forecaster>) -> Self {
+        ForecastPolicy {
+            forecaster,
+            history: 120,
+            headroom: 1.0,
+            horizon: 1,
+        }
+    }
+}
+
+impl ScalingPolicy for ForecastPolicy {
+    fn name(&self) -> String {
+        format!("forecast-{}", self.forecaster.name())
+    }
+
+    fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize {
+        let start =
+            ctx.avg_concurrency.len().saturating_sub(self.history);
+        let window = &ctx.avg_concurrency[start..];
+        let pred = if window.is_empty() {
+            ctx.inflight as f64
+        } else {
+            self.forecaster
+                .forecast(window, self.horizon.max(1))
+                .into_iter()
+                .fold(0.0f64, f64::max)
+        };
+        ctx.pods_for_concurrency(pred * self.headroom)
+    }
+}
+
+/// Always requests a fixed number of pods (useful for tests and as the
+/// "provisioned concurrency" reference).
+#[derive(Debug, Clone)]
+pub struct FixedPolicy(pub usize);
+
+impl ScalingPolicy for FixedPolicy {
+    fn name(&self) -> String {
+        format!("fixed-{}", self.0)
+    }
+
+    fn target_pods(&mut self, _ctx: &PolicyCtx<'_>) -> usize {
+        self.0
+    }
+}
+
+/// Never provisions anything proactively; every burst pays cold starts.
+/// The pessimal-latency / optimal-memory endpoint for tests.
+#[derive(Debug, Clone, Default)]
+pub struct ZeroPolicy;
+
+impl ScalingPolicy for ZeroPolicy {
+    fn name(&self) -> String {
+        "zero".into()
+    }
+
+    fn target_pods(&mut self, _ctx: &PolicyCtx<'_>) -> usize {
+        0
+    }
+}

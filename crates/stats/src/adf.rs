@@ -1,0 +1,227 @@
+//! Augmented Dickey-Fuller stationarity test.
+//!
+//! FeMux uses the ADF test as its *stationarity* block feature (§4.3.2 of
+//! the paper): stationary blocks suit the AR forecaster, while
+//! non-stationary blocks are better served by SETAR or trend-following
+//! smoothers. We implement the constant-only (no deterministic trend)
+//! variant:
+//!
+//! `dy_t = alpha + gamma * y_{t-1} + sum_i beta_i * dy_{t-i} + eps_t`
+//!
+//! The test statistic is the t-ratio of `gamma`; large negative values
+//! reject the unit-root null, i.e. indicate stationarity.
+
+use crate::matrix::{ols_with_errors, Matrix};
+
+/// Result of an Augmented Dickey-Fuller test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdfResult {
+    /// The t-ratio of the lagged-level coefficient (the DF statistic).
+    pub statistic: f64,
+    /// Number of augmenting lag differences used.
+    pub lags: usize,
+    /// Effective number of observations in the regression.
+    pub n_obs: usize,
+}
+
+impl AdfResult {
+    /// Returns `true` if the unit-root null is rejected at the given
+    /// significance level, i.e. the series is deemed stationary.
+    pub fn is_stationary(&self, level: Significance) -> bool {
+        self.statistic < level.critical_value()
+    }
+}
+
+/// Significance levels with MacKinnon asymptotic critical values for the
+/// constant-only ADF regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Significance {
+    /// 1 % level (critical value -3.43).
+    One,
+    /// 5 % level (critical value -2.86).
+    Five,
+    /// 10 % level (critical value -2.57).
+    Ten,
+}
+
+impl Significance {
+    /// Returns the asymptotic critical value for this level.
+    pub fn critical_value(self) -> f64 {
+        match self {
+            Significance::One => -3.43,
+            Significance::Five => -2.86,
+            Significance::Ten => -2.57,
+        }
+    }
+}
+
+/// Runs the ADF test with a fixed number of augmenting lags.
+///
+/// Returns `None` when the series is too short or degenerate (constant),
+/// in which case callers should treat the block as trivially stationary:
+/// constant traffic is perfectly predictable.
+pub fn adf_test(xs: &[f64], lags: usize) -> Option<AdfResult> {
+    let n = xs.len();
+    // Need y_{t-1}, `lags` lagged differences, and spare dof.
+    if n < lags + 10 {
+        return None;
+    }
+    let diffs: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+    // Regression sample: t runs over diffs indices [lags, diffs.len()).
+    let rows = diffs.len() - lags;
+    let cols = 2 + lags; // constant, y_{t-1}, lagged diffs
+    if rows <= cols {
+        return None;
+    }
+    let mut design = Matrix::zeros(rows, cols);
+    let mut target = Vec::with_capacity(rows);
+    for (r, t) in (lags..diffs.len()).enumerate() {
+        design[(r, 0)] = 1.0;
+        design[(r, 1)] = xs[t]; // y_{t-1} relative to dy_t = y_{t+1}-y_t
+        for i in 0..lags {
+            design[(r, 2 + i)] = diffs[t - 1 - i];
+        }
+        target.push(diffs[t]);
+    }
+    let fit = ols_with_errors(&design, &target)?;
+    let se = fit.std_errors[1];
+    if se <= 1e-12 {
+        // Perfect fit: differences fully explained; treat as strongly
+        // stationary by convention with a large negative statistic.
+        return Some(AdfResult {
+            statistic: -100.0,
+            lags,
+            n_obs: rows,
+        });
+    }
+    Some(AdfResult {
+        statistic: fit.beta[1] / se,
+        lags,
+        n_obs: rows,
+    })
+}
+
+/// Runs the ADF test with automatic lag selection via the Schwert rule
+/// `p_max = floor(12 * (n / 100)^{1/4})`, capped for short blocks.
+pub fn adf_test_auto(xs: &[f64]) -> Option<AdfResult> {
+    let n = xs.len();
+    if n < 16 {
+        return None;
+    }
+    let schwert = (12.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
+    let lags = schwert.min(n / 8).max(1);
+    adf_test(xs, lags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.normal()).collect()
+    }
+
+    fn random_walk(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut acc = 0.0;
+        (0..n)
+            .map(|_| {
+                acc += rng.normal();
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn white_noise_is_stationary() {
+        let xs = white_noise(500, 1);
+        let res = adf_test(&xs, 2).unwrap();
+        assert!(
+            res.is_stationary(Significance::One),
+            "statistic {}",
+            res.statistic
+        );
+    }
+
+    #[test]
+    fn random_walk_is_not_stationary() {
+        let xs = random_walk(500, 2);
+        let res = adf_test(&xs, 2).unwrap();
+        assert!(
+            !res.is_stationary(Significance::Ten),
+            "statistic {}",
+            res.statistic
+        );
+    }
+
+    #[test]
+    fn ar1_is_stationary() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut xs = vec![0.0];
+        for _ in 0..800 {
+            let prev = *xs.last().expect("non-empty");
+            xs.push(0.6 * prev + rng.normal());
+        }
+        let res = adf_test_auto(&xs).unwrap();
+        assert!(
+            res.is_stationary(Significance::Five),
+            "statistic {}",
+            res.statistic
+        );
+    }
+
+    #[test]
+    fn near_unit_root_is_borderline() {
+        // rho = 0.999 over a short window looks like a unit root.
+        let mut rng = Rng::seed_from_u64(4);
+        let mut xs = vec![0.0];
+        for _ in 0..400 {
+            let prev = *xs.last().expect("non-empty");
+            xs.push(0.999 * prev + rng.normal());
+        }
+        let res = adf_test(&xs, 2).unwrap();
+        assert!(
+            !res.is_stationary(Significance::One),
+            "statistic {}",
+            res.statistic
+        );
+    }
+
+    #[test]
+    fn short_series_returns_none() {
+        assert!(adf_test(&[1.0, 2.0, 3.0], 1).is_none());
+        assert!(adf_test_auto(&white_noise(10, 5)).is_none());
+    }
+
+    #[test]
+    fn constant_series_handled() {
+        let xs = vec![2.0; 100];
+        // All differences are zero; OLS hits the ridge path and the
+        // perfect-fit branch yields a strongly stationary verdict.
+        if let Some(res) = adf_test(&xs, 1) {
+            assert!(res.is_stationary(Significance::One));
+        }
+    }
+
+    #[test]
+    fn critical_values_ordered() {
+        assert!(
+            Significance::One.critical_value()
+                < Significance::Five.critical_value()
+        );
+        assert!(
+            Significance::Five.critical_value()
+                < Significance::Ten.critical_value()
+        );
+    }
+
+    #[test]
+    fn auto_lag_counts_observations() {
+        let xs = white_noise(504, 6);
+        let res = adf_test_auto(&xs).unwrap();
+        assert!(res.lags >= 1);
+        assert!(res.n_obs > 400);
+    }
+}

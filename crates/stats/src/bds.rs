@@ -1,0 +1,254 @@
+//! Broock-Dechert-Scheinkman (BDS) independence test.
+//!
+//! FeMux uses the BDS statistic as its *linearity* block feature (§4.3.2).
+//! Applied to the residuals of a fitted linear (AR) model, a large |BDS|
+//! value indicates remaining nonlinear structure, steering block
+//! classification toward SETAR; a small value means a linear model already
+//! captures the dynamics. The paper notes BDS requires at least ~400
+//! observations, which motivated the 504-minute block size.
+//!
+//! The statistic for embedding dimension `m` and radius `eps` is
+//!
+//! `W_m = sqrt(N_m) * (C_m - C_1^m) / sigma_m`
+//!
+//! where `C_m` is the correlation integral (fraction of pairs of
+//! `m`-histories within `eps` in the sup norm) and `sigma_m` follows the
+//! asymptotic variance formula of Broock et al. (1996).
+
+use crate::acf::levinson_durbin;
+use crate::desc::std_dev;
+
+/// Result of a BDS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BdsResult {
+    /// The standardized test statistic (asymptotically N(0,1) under iid).
+    pub statistic: f64,
+    /// Embedding dimension used.
+    pub dimension: usize,
+    /// Radius used (in data units).
+    pub epsilon: f64,
+}
+
+impl BdsResult {
+    /// Returns `true` if the iid null is rejected at roughly the 5 % level,
+    /// i.e. the series exhibits (possibly nonlinear) dependence.
+    pub fn is_dependent(&self) -> bool {
+        self.statistic.abs() > 1.96
+    }
+}
+
+/// Computes the correlation integral `C_m(eps)`: the fraction of pairs of
+/// m-point histories whose sup-norm distance is below `eps`.
+fn correlation_integral(xs: &[f64], m: usize, eps: f64) -> f64 {
+    let n_m = xs.len() + 1 - m;
+    if n_m < 2 {
+        return 0.0;
+    }
+    let mut close = 0u64;
+    for i in 0..n_m {
+        'pairs: for j in i + 1..n_m {
+            for k in 0..m {
+                if (xs[i + k] - xs[j + k]).abs() >= eps {
+                    continue 'pairs;
+                }
+            }
+            close += 1;
+        }
+    }
+    2.0 * close as f64 / (n_m as f64 * (n_m - 1) as f64)
+}
+
+/// Computes the `K` estimator used by the BDS variance formula:
+/// the probability that of three random points, the middle one is within
+/// `eps` of both others.
+fn k_estimator(xs: &[f64], eps: f64) -> f64 {
+    let n = xs.len();
+    if n < 3 {
+        return 0.0;
+    }
+    // For each point, count neighbours within eps (excluding itself), then
+    // K = sum_s c_s * (c_s - 1) / (n (n-1) (n-2)).
+    let mut total = 0.0;
+    for s in 0..n {
+        let mut c = 0u64;
+        for t in 0..n {
+            if t != s && (xs[t] - xs[s]).abs() < eps {
+                c += 1;
+            }
+        }
+        total += (c * c.saturating_sub(1)) as f64;
+    }
+    total / (n as f64 * (n - 1) as f64 * (n - 2) as f64)
+}
+
+/// Runs the BDS test on `xs` with embedding dimension `m` and radius
+/// `eps_factor * std_dev(xs)`.
+///
+/// Returns `None` for series that are too short (fewer than ~4·m + 20
+/// points), constant, or whose variance estimate degenerates.
+pub fn bds_test(xs: &[f64], m: usize, eps_factor: f64) -> Option<BdsResult> {
+    let n = xs.len();
+    if m < 2 || n < 4 * m + 20 {
+        return None;
+    }
+    let sd = std_dev(xs);
+    if sd <= 1e-12 {
+        return None;
+    }
+    let eps = eps_factor * sd;
+    let c1 = correlation_integral(xs, 1, eps);
+    let cm = correlation_integral(xs, m, eps);
+    let k = k_estimator(xs, eps);
+    if c1 <= 0.0 || c1 >= 1.0 || k <= 0.0 {
+        return None;
+    }
+    // Asymptotic variance (Broock et al. 1996).
+    let mf = m as f64;
+    let mut sum_term = 0.0;
+    for j in 1..m {
+        sum_term += k.powi((m - j) as i32) * c1.powi(2 * j as i32);
+    }
+    let var = 4.0
+        * (k.powi(m as i32) + 2.0 * sum_term
+            + (mf - 1.0) * (mf - 1.0) * c1.powi(2 * m as i32)
+            - mf * mf * k * c1.powi(2 * m as i32 - 2));
+    if var <= 0.0 {
+        return None;
+    }
+    let n_m = (n + 1 - m) as f64;
+    let statistic = n_m.sqrt() * (cm - c1.powi(m as i32)) / var.sqrt();
+    Some(BdsResult {
+        statistic,
+        dimension: m,
+        epsilon: eps,
+    })
+}
+
+/// Runs the BDS test on the residuals of an AR(`order`) fit.
+///
+/// This is the standard recipe for a *nonlinearity* test: the AR fit
+/// removes linear structure, so remaining dependence detected by BDS is
+/// evidence of nonlinearity. Returns `None` if the AR fit or the BDS test
+/// is infeasible.
+pub fn bds_on_ar_residuals(
+    xs: &[f64],
+    order: usize,
+    m: usize,
+    eps_factor: f64,
+) -> Option<BdsResult> {
+    let (phi, _) = levinson_durbin(xs, order)?;
+    let mean = crate::desc::mean(xs);
+    let centered: Vec<f64> = xs.iter().map(|x| x - mean).collect();
+    let residuals: Vec<f64> = (order..centered.len())
+        .map(|t| {
+            let pred: f64 = (0..order)
+                .map(|i| phi[i] * centered[t - 1 - i])
+                .sum();
+            centered[t] - pred
+        })
+        .collect();
+    bds_test(&residuals, m, eps_factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn iid_noise_not_dependent() {
+        let mut rng = Rng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..500).map(|_| rng.normal()).collect();
+        let res = bds_test(&xs, 2, 1.0).unwrap();
+        assert!(
+            res.statistic.abs() < 3.0,
+            "statistic {} too large for iid noise",
+            res.statistic
+        );
+    }
+
+    #[test]
+    fn deterministic_chaos_is_dependent() {
+        // The logistic map at r=4 is the canonical BDS positive control.
+        let mut x = 0.3;
+        let xs: Vec<f64> = (0..500)
+            .map(|_| {
+                x = 4.0 * x * (1.0 - x);
+                x
+            })
+            .collect();
+        let res = bds_test(&xs, 2, 1.0).unwrap();
+        assert!(res.is_dependent(), "statistic {}", res.statistic);
+        assert!(res.statistic.abs() > 5.0);
+    }
+
+    #[test]
+    fn ar_series_dependent_raw_but_not_in_residuals() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut xs = vec![0.0];
+        for _ in 0..600 {
+            let prev = *xs.last().expect("non-empty");
+            xs.push(0.8 * prev + rng.normal());
+        }
+        let raw = bds_test(&xs, 2, 1.0).unwrap();
+        assert!(raw.is_dependent(), "raw statistic {}", raw.statistic);
+        let resid = bds_on_ar_residuals(&xs, 5, 2, 1.0).unwrap();
+        assert!(
+            resid.statistic.abs() < raw.statistic.abs(),
+            "residual statistic {} not smaller than raw {}",
+            resid.statistic,
+            raw.statistic
+        );
+    }
+
+    #[test]
+    fn threshold_dynamics_stay_dependent_in_residuals() {
+        // A SETAR-style process: different AR regimes by sign. Linear AR
+        // residuals keep nonlinear structure.
+        let mut rng = Rng::seed_from_u64(3);
+        let mut xs = vec![0.0];
+        for _ in 0..800 {
+            let prev = *xs.last().expect("non-empty");
+            let coef = if prev > 0.0 { 0.9 } else { -0.6 };
+            xs.push(coef * prev + 0.3 * rng.normal());
+        }
+        let resid = bds_on_ar_residuals(&xs, 5, 2, 1.0).unwrap();
+        assert!(
+            resid.is_dependent(),
+            "residual statistic {}",
+            resid.statistic
+        );
+    }
+
+    #[test]
+    fn short_or_constant_series_return_none() {
+        assert!(bds_test(&[1.0; 10], 2, 1.0).is_none());
+        let constant = vec![5.0; 200];
+        assert!(bds_test(&constant, 2, 1.0).is_none());
+    }
+
+    #[test]
+    fn correlation_integral_bounds() {
+        let mut rng = Rng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..200).map(|_| rng.normal()).collect();
+        for m in [1usize, 2, 3] {
+            let c = correlation_integral(&xs, m, 1.0);
+            assert!((0.0..=1.0).contains(&c), "C_{m} = {c}");
+        }
+        // Larger eps means more pairs are close.
+        let c_small = correlation_integral(&xs, 2, 0.5);
+        let c_large = correlation_integral(&xs, 2, 2.0);
+        assert!(c_large > c_small);
+    }
+
+    #[test]
+    fn k_estimator_bounds() {
+        let mut rng = Rng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..200).map(|_| rng.normal()).collect();
+        let k = k_estimator(&xs, 1.0);
+        assert!((0.0..=1.0).contains(&k), "K = {k}");
+        // K >= C^2 by Cauchy-Schwarz (approximately, for estimators).
+        let c = correlation_integral(&xs, 1, 1.0);
+        assert!(k >= c * c - 0.05, "K {k} vs C^2 {}", c * c);
+    }
+}

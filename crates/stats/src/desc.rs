@@ -1,0 +1,388 @@
+//! Descriptive statistics.
+//!
+//! The characterization section of the paper is built from quantiles, CDFs,
+//! coefficients of variation, and histograms over millions of values; these
+//! helpers keep those computations in one tested place.
+
+/// Returns the arithmetic mean, or `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Returns the population variance, or `0.0` for fewer than two values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Returns the population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Returns the coefficient of variation `sigma / mu`.
+///
+/// The paper flags workloads with CV > 1 as highly variable (96 % of IBM
+/// workloads, 78 % of Azure '21 ones). Returns `f64::INFINITY` when the
+/// mean is zero but the deviation is not, and `0.0` when both are zero.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if m != 0.0 {
+        s / m.abs()
+    } else if s == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Returns the `q`-quantile (`0 <= q <= 1`) using linear interpolation
+/// between order statistics (type-7, the numpy default).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Returns the `q`-quantile of an already-sorted slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Returns the median.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// A five-number-plus summary of a sample, used throughout the
+/// characterization figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary, returning `None` for an empty sample.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted
+            .sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+        Some(Summary {
+            count: sorted.len(),
+            mean: mean(&sorted),
+            min: sorted[0],
+            p50: quantile_sorted(&sorted, 0.5),
+            p90: quantile_sorted(&sorted, 0.9),
+            p99: quantile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+/// An empirical CDF over a sample.
+///
+/// # Examples
+///
+/// ```
+/// use femux_stats::desc::Ecdf;
+///
+/// let ecdf = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(ecdf.fraction_at_or_below(2.0), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN.
+    pub fn new(xs: &[f64]) -> Self {
+        let mut sorted = xs.to_vec();
+        sorted
+            .sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+        Ecdf { sorted }
+    }
+
+    /// Returns the number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Returns `P(X <= x)`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Returns the `q`-quantile of the sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q)
+    }
+
+    /// Evaluates the CDF at each of `points`, yielding `(x, F(x))` pairs —
+    /// the exact series needed to print a paper-style CDF figure.
+    pub fn curve(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records a value.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Returns the total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Returns the bucket counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Returns the underflow count.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Returns the overflow count.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Returns `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+/// Computes the fraction of values in `xs` that satisfy `pred`.
+pub fn fraction_where<F: Fn(f64) -> bool>(xs: &[f64], pred: F) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| pred(x)).count() as f64 / xs.len() as f64
+}
+
+/// Generates `n` logarithmically spaced points between `lo` and `hi`
+/// (inclusive), as used for the paper's log-x CDF plots.
+///
+/// # Panics
+///
+/// Panics if `lo <= 0`, `hi <= lo`, or `n < 2`.
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2, "bad log_space arguments");
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn cv_flags_high_variability() {
+        // Constant series: CV = 0.
+        assert_eq!(coefficient_of_variation(&[3.0, 3.0, 3.0]), 0.0);
+        // Bursty series: CV > 1.
+        let bursty = [0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(coefficient_of_variation(&bursty) > 1.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.5).abs() < 1e-12);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_basic() {
+        let ecdf = Ecdf::new(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(ecdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(ecdf.fraction_at_or_below(3.0), 0.6);
+        assert_eq!(ecdf.fraction_at_or_below(100.0), 1.0);
+        assert_eq!(ecdf.quantile(0.0), 1.0);
+        assert_eq!(ecdf.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn ecdf_curve_is_monotone() {
+        let ecdf = Ecdf::new(&[0.1, 0.5, 0.9, 2.0, 10.0]);
+        let pts = log_space(0.01, 100.0, 20);
+        let curve = ecdf.curve(&pts);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.counts()[5], 1); // 5.0
+        assert_eq!(h.counts()[9], 1); // 9.99
+    }
+
+    #[test]
+    fn fraction_where_counts() {
+        let xs = [0.1, 0.9, 1.5, 2.0];
+        assert_eq!(fraction_where(&xs, |x| x < 1.0), 0.5);
+    }
+
+    #[test]
+    fn log_space_endpoints() {
+        let pts = log_space(0.001, 1000.0, 7);
+        assert!((pts[0] - 0.001).abs() < 1e-12);
+        assert!((pts[6] - 1000.0).abs() < 1e-9);
+        assert!((pts[3] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,467 @@
+//! Fast Fourier Transform.
+//!
+//! The FFT is load-bearing in this reproduction: the paper's periodicity
+//! feature (§4.3.2), the FFT forecaster (§4.3.3), and the IceBreaker
+//! baseline all depend on it. We implement an iterative radix-2
+//! Cooley-Tukey transform for power-of-two lengths and Bluestein's
+//! chirp-z algorithm for arbitrary lengths, so 504-minute blocks can be
+//! transformed without padding artifacts.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number in Cartesian form.
+///
+/// A tiny local implementation avoids pulling in a complex-number crate for
+/// the handful of operations the FFT needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates `e^{i theta}` on the unit circle.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Returns the complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Returns the modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Returns the squared modulus, cheaper than [`Complex::abs`].
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the argument (phase angle) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Computes the in-place forward DFT of a power-of-two-length buffer.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft_pow2(buf: &mut [Complex]) {
+    fft_pow2_dir(buf, false);
+}
+
+/// Computes the in-place inverse DFT (including the `1/n` scaling) of a
+/// power-of-two-length buffer.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two.
+pub fn ifft_pow2(buf: &mut [Complex]) {
+    fft_pow2_dir(buf, true);
+    let scale = 1.0 / buf.len() as f64;
+    for v in buf.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+fn fft_pow2_dir(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let shift = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - shift);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Iterative butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Computes the forward DFT of a buffer of arbitrary length.
+///
+/// Power-of-two lengths dispatch to the radix-2 kernel; other lengths use
+/// Bluestein's chirp-z transform, which re-expresses the DFT as a circular
+/// convolution of power-of-two length.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        fft_pow2(&mut buf);
+        return buf;
+    }
+    bluestein(input, false)
+}
+
+/// Computes the inverse DFT (including `1/n` scaling) of arbitrary length.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = input.to_vec();
+        ifft_pow2(&mut buf);
+        return buf;
+    }
+    let mut out = bluestein(input, true);
+    let scale = 1.0 / n as f64;
+    for v in &mut out {
+        *v = v.scale(scale);
+    }
+    out
+}
+
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w_k = e^{sign * i * pi * k^2 / n}. Using k^2 mod 2n keeps the
+    // angle argument small for long inputs, preserving precision.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::ZERO; m];
+    let mut b = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    for k in 1..n {
+        b[m - k] = chirp[k].conj();
+    }
+    fft_pow2(&mut a);
+    fft_pow2(&mut b);
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = *x * *y;
+    }
+    ifft_pow2(&mut a);
+    (0..n).map(|k| a[k] * chirp[k]).collect()
+}
+
+/// Computes the DFT of a real-valued signal.
+pub fn rfft(signal: &[f64]) -> Vec<Complex> {
+    let input: Vec<Complex> =
+        signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft(&input)
+}
+
+/// Reconstructs a real signal from its full-length spectrum, discarding the
+/// (numerically tiny) imaginary residue.
+pub fn irfft(spectrum: &[Complex]) -> Vec<f64> {
+    ifft(spectrum).into_iter().map(|c| c.re).collect()
+}
+
+/// A single spectral component of a real signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Harmonic {
+    /// Frequency-bin index in `[0, n/2]`.
+    pub bin: usize,
+    /// Amplitude of the reconstructed sinusoid.
+    pub amplitude: f64,
+    /// Phase of the component in radians.
+    pub phase: f64,
+}
+
+impl Harmonic {
+    /// Evaluates this harmonic's contribution at sample `t` of an
+    /// `n`-sample signal.
+    pub fn eval(&self, t: f64, n: usize) -> f64 {
+        let omega = 2.0 * std::f64::consts::PI * self.bin as f64 / n as f64;
+        self.amplitude * (omega * t + self.phase).cos()
+    }
+}
+
+/// Extracts the `k` largest-amplitude harmonics (excluding the DC term) of a
+/// real signal, plus the DC mean, exactly as the paper's FFT forecaster
+/// keeps the "top 10 harmonics".
+///
+/// Returns `(mean, harmonics)` where `harmonics` is sorted by descending
+/// amplitude. Only bins `1..=n/2` are considered; each bin's conjugate pair
+/// is folded into a single real sinusoid.
+pub fn top_harmonics(signal: &[f64], k: usize) -> (f64, Vec<Harmonic>) {
+    let n = signal.len();
+    if n == 0 {
+        return (0.0, Vec::new());
+    }
+    let spec = rfft(signal);
+    let mean = spec[0].re / n as f64;
+    let half = n / 2;
+    let mut comps: Vec<Harmonic> = (1..=half)
+        .map(|bin| {
+            // A real sinusoid of amplitude A splits A/2 into bin and its
+            // conjugate; the Nyquist bin (even n) is unpaired.
+            let pair = if n.is_multiple_of(2) && bin == half { 1.0 } else { 2.0 };
+            Harmonic {
+                bin,
+                amplitude: pair * spec[bin].abs() / n as f64,
+                phase: spec[bin].arg(),
+            }
+        })
+        .collect();
+    comps.sort_by(|a, b| {
+        b.amplitude
+            .partial_cmp(&a.amplitude)
+            .expect("amplitudes are finite")
+    });
+    comps.truncate(k);
+    (mean, comps)
+}
+
+/// Extrapolates a real signal `horizon` steps past its end using its `k`
+/// strongest harmonics.
+///
+/// This is the core of the FFT forecaster used by both FeMux's forecaster
+/// set and the IceBreaker baseline.
+pub fn harmonic_extrapolate(
+    signal: &[f64],
+    k: usize,
+    horizon: usize,
+) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return vec![0.0; horizon];
+    }
+    let (mean, harmonics) = top_harmonics(signal, k);
+    (0..horizon)
+        .map(|h| {
+            let t = (n + h) as f64;
+            mean + harmonics.iter().map(|c| c.eval(t, n)).sum::<f64>()
+        })
+        .collect()
+}
+
+/// Computes the one-sided power spectral density of a real signal
+/// (excluding DC), normalized so the entries sum to the signal's variance.
+pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let spec = rfft(signal);
+    let half = n / 2;
+    (1..=half)
+        .map(|bin| {
+            let pair = if n.is_multiple_of(2) && bin == half { 1.0 } else { 2.0 };
+            pair * spec[bin].norm_sq() / (n as f64 * n as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (t, x) in input.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64
+                        / n as f64;
+                    acc = acc + *x * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow2_matches_naive() {
+        let input: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        assert_close(&fft(&input), &naive_dft(&input), 1e-9);
+    }
+
+    #[test]
+    fn arbitrary_length_matches_naive() {
+        for n in [1usize, 2, 3, 5, 7, 12, 63, 100, 504] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), 0.0))
+                .collect();
+            assert_close(&fft(&input), &naive_dft(&input), 1e-7);
+        }
+    }
+
+    #[test]
+    fn round_trip_pow2() {
+        let input: Vec<Complex> =
+            (0..64).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let back = ifft(&fft(&input));
+        assert_close(&back, &input, 1e-9);
+    }
+
+    #[test]
+    fn round_trip_arbitrary() {
+        let input: Vec<Complex> = (0..504)
+            .map(|i| Complex::new((i as f64 * 0.01).cos(), 0.0))
+            .collect();
+        let back = ifft(&fft(&input));
+        assert_close(&back, &input, 1e-7);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+        assert_eq!(harmonic_extrapolate(&[], 3, 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn pure_tone_recovered() {
+        // 8 cycles over 128 samples, amplitude 3, phase pi/4.
+        let n = 128;
+        let signal: Vec<f64> = (0..n)
+            .map(|t| {
+                3.0 * (2.0 * std::f64::consts::PI * 8.0 * t as f64 / n as f64
+                    + std::f64::consts::FRAC_PI_4)
+                    .cos()
+                    + 5.0
+            })
+            .collect();
+        let (mean, harmonics) = top_harmonics(&signal, 1);
+        assert!((mean - 5.0).abs() < 1e-9);
+        assert_eq!(harmonics[0].bin, 8);
+        assert!((harmonics[0].amplitude - 3.0).abs() < 1e-9);
+        assert!(
+            (harmonics[0].phase - std::f64::consts::FRAC_PI_4).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn extrapolation_continues_periodic_signal() {
+        let n = 256;
+        let f = |t: f64| {
+            2.0 * (2.0 * std::f64::consts::PI * 4.0 * t / n as f64).sin() + 1.0
+        };
+        let signal: Vec<f64> = (0..n).map(|t| f(t as f64)).collect();
+        let pred = harmonic_extrapolate(&signal, 3, 32);
+        for (h, p) in pred.iter().enumerate() {
+            let truth = f((n + h) as f64);
+            assert!((p - truth).abs() < 1e-6, "h={h}: {p} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn power_spectrum_sums_to_variance() {
+        let signal: Vec<f64> = (0..200)
+            .map(|t| (t as f64 * 0.3).sin() + 0.5 * (t as f64 * 1.1).cos())
+            .collect();
+        let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+        let var = signal.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / signal.len() as f64;
+        let total: f64 = power_spectrum(&signal).iter().sum();
+        assert!((total - var).abs() < 1e-9, "{total} vs {var}");
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,503 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component in this workspace (trace synthesis, k-means
+//! initialization, sampling) draws from [`Rng`], a xoshiro256++ generator
+//! seeded through SplitMix64. Using our own small generator keeps every
+//! experiment bit-reproducible across platforms and toolchain upgrades,
+//! which matters when regenerating paper figures.
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+///
+/// xoshiro256++ is a fast, high-quality, non-cryptographic generator with a
+/// period of 2^256 - 1. It must never be used for security purposes.
+///
+/// # Examples
+///
+/// ```
+/// use femux_stats::rng::Rng;
+///
+/// let mut a = Rng::seed_from_u64(7);
+/// let mut b = Rng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed using SplitMix64 expansion.
+    ///
+    /// SplitMix64 guarantees that even adjacent seeds produce well-separated
+    /// initial states, and that the all-zero state (which would be a fixed
+    /// point of xoshiro) can never occur.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Returns the next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// This is the mechanism used to hand one stream per application to the
+    /// trace synthesizers so that adding or removing applications does not
+    /// perturb the traffic of the others.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Returns a uniform integer in `[0, n)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below requires n > 0");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform `usize` index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Samples a standard normal variate via the Marsaglia polar method.
+    pub fn normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.f64() - 1.0;
+            let v = 2.0 * self.f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Samples `N(mean, std^2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative.
+    pub fn normal_with(&mut self, mean: f64, std: f64) -> f64 {
+        assert!(std >= 0.0, "standard deviation must be non-negative");
+        mean + std * self.normal()
+    }
+
+    /// Samples a log-normal variate with the given parameters of the
+    /// underlying normal distribution.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal_with(mu, sigma).exp()
+    }
+
+    /// Samples an exponential variate with rate `lambda` (mean `1/lambda`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0`.
+    pub fn exp(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "rate must be positive");
+        // `1 - f64()` is in (0, 1], avoiding ln(0).
+        -(1.0 - self.f64()).ln() / lambda
+    }
+
+    /// Samples a Poisson variate with mean `lambda`.
+    ///
+    /// Uses Knuth's product method for small means and a normal
+    /// approximation with continuity correction for large means, which is
+    /// accurate to well under a percent for `lambda > 64` and keeps sampling
+    /// O(1) for the heavy-traffic applications in the fleet generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "bad Poisson mean");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 64.0 {
+            let limit = (-lambda).exp();
+            let mut product = self.f64();
+            let mut count = 0u64;
+            while product > limit {
+                product *= self.f64();
+                count += 1;
+            }
+            count
+        } else {
+            let x = self.normal_with(lambda, lambda.sqrt());
+            if x < 0.0 {
+                0
+            } else {
+                (x + 0.5) as u64
+            }
+        }
+    }
+
+    /// Samples a Pareto variate with scale `xm > 0` and shape `alpha > 0`.
+    ///
+    /// Heavy-tailed samples model the long-tail cold-start durations and
+    /// execution times the paper reports (p99 delays above 100 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xm <= 0` or `alpha <= 0`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0, "bad Pareto parameters");
+        xm / (1.0 - self.f64()).powf(1.0 / alpha)
+    }
+
+    /// Samples an index from a discrete distribution given by `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative value, or sums to a
+    /// non-positive total.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights
+            .iter()
+            .inspect(|&w| {
+                assert!(*w >= 0.0, "weights must be non-negative");
+            })
+            .sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Performs an in-place Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (reservoir sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from {n}");
+        let mut reservoir: Vec<usize> = (0..k).collect();
+        for i in k..n {
+            let j = self.index(i + 1);
+            if j < k {
+                reservoir[j] = i;
+            }
+        }
+        reservoir
+    }
+}
+
+/// A Zipf-distributed sampler over ranks `1..=n` with exponent `s`.
+///
+/// The popularity of serverless applications is heavily skewed (a handful of
+/// applications dominate traffic; Fig. 15 of the paper), which a Zipf law
+/// captures. This sampler precomputes the normalization constant and uses
+/// inverse-CDF sampling over a cumulative table, trading O(n) memory for
+/// O(log n) draws.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Returns the number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if there are no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `[0, n)` (0 is the most popular).
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Returns the probability mass of rank `k` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(5);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let x = rng.normal();
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng::seed_from_u64(6);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = Rng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| rng.poisson(3.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut rng = Rng::seed_from_u64(8);
+        let n = 50_000;
+        let mean: f64 =
+            (0..n).map(|_| rng.poisson(500.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 500.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = Rng::seed_from_u64(9);
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn pareto_exceeds_scale() {
+        let mut rng = Rng::seed_from_u64(10);
+        for _ in 0..1_000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Rng::seed_from_u64(11);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(12);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Rng::seed_from_u64(13);
+        let mut idx = rng.sample_indices(100, 20);
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 20);
+        assert!(idx.iter().all(|i| *i < 100));
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let mut rng = Rng::seed_from_u64(14);
+        let zipf = Zipf::new(100, 1.2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let zipf = Zipf::new(50, 0.9);
+        let total: f64 = (0..50).map(|k| zipf.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from_u64(15);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn below_zero_panics() {
+        Rng::seed_from_u64(0).below(0);
+    }
+}

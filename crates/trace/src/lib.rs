@@ -1,0 +1,29 @@
+//! Serverless trace data model and synthetic workload generation.
+//!
+//! This crate supplies everything the FeMux reproduction needs to stand in
+//! for production traces:
+//!
+//! - [`types`]: millisecond-resolution invocation records with the IBM
+//!   dataset's schema (execution duration, platform delay, per-app CPU /
+//!   memory / concurrency / minimum-scale configuration).
+//! - [`repr`]: conversions between traffic representations — per-minute
+//!   counts (Azure '19), Knative average concurrency (FeMux's input), and
+//!   idle times (histogram policies).
+//! - [`synth`]: calibrated fleet generators (IBM-like, Azure-'19-like)
+//!   and cross-dataset sketches for the comparison figures.
+//! - [`split`]: train/validation/test splitting and representative
+//!   sampling, following §5.1 of the paper.
+//! - [`io`]: a line-oriented CSV trace format with strict error
+//!   reporting.
+//! - [`ops`]: trace carving (subset, clip, merge, thin).
+
+pub mod io;
+pub mod ops;
+pub mod repr;
+pub mod split;
+pub mod synth;
+pub mod types;
+
+pub use types::{
+    AppConfig, AppId, AppRecord, Invocation, Trace, WorkloadKind,
+};

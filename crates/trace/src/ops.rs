@@ -1,0 +1,173 @@
+//! Trace manipulation utilities.
+//!
+//! Experiments routinely need to carve traces: select an app subset,
+//! clip a time window, merge fleets, or rescale volumes. These
+//! operations preserve the structural invariants `Trace::validate`
+//! checks.
+
+use crate::types::{AppId, Trace};
+
+/// Returns a new trace containing only the apps at `indices` (in the
+/// given order).
+///
+/// # Panics
+///
+/// Panics if an index is out of range.
+pub fn select_apps(trace: &Trace, indices: &[usize]) -> Trace {
+    let mut out = Trace::new(trace.span_ms);
+    for &i in indices {
+        out.apps.push(trace.apps[i].clone());
+    }
+    out
+}
+
+/// Returns a new trace clipped to `[from_ms, to_ms)`, with timestamps
+/// rebased to start at zero. Apps left with no invocations are kept
+/// (their configuration still matters for min-scale accounting).
+///
+/// # Panics
+///
+/// Panics if `from_ms >= to_ms`.
+pub fn clip_window(trace: &Trace, from_ms: u64, to_ms: u64) -> Trace {
+    assert!(from_ms < to_ms, "empty clip window");
+    let mut out = Trace::new(to_ms.min(trace.span_ms).saturating_sub(from_ms));
+    for app in &trace.apps {
+        let mut clipped = app.clone();
+        clipped.invocations = app
+            .invocations
+            .iter()
+            .filter(|i| i.start_ms >= from_ms && i.start_ms < to_ms)
+            .map(|i| {
+                let mut inv = *i;
+                inv.start_ms -= from_ms;
+                inv
+            })
+            .collect();
+        out.apps.push(clipped);
+    }
+    out
+}
+
+/// Merges two traces into one fleet, renumbering the second trace's app
+/// ids to avoid collisions. The span is the maximum of the two.
+pub fn merge(a: &Trace, b: &Trace) -> Trace {
+    let mut out = Trace::new(a.span_ms.max(b.span_ms));
+    out.apps.extend(a.apps.iter().cloned());
+    let offset = a
+        .apps
+        .iter()
+        .map(|app| app.id.0 + 1)
+        .max()
+        .unwrap_or(0);
+    for app in &b.apps {
+        let mut renumbered = app.clone();
+        renumbered.id = AppId(app.id.0 + offset);
+        out.apps.push(renumbered);
+    }
+    out
+}
+
+/// Deterministically thins every app's invocations by keeping one in
+/// `keep_one_in` (volume downscaling that preserves timing structure
+/// better than rate scaling for replay purposes).
+///
+/// # Panics
+///
+/// Panics if `keep_one_in == 0`.
+pub fn thin(trace: &Trace, keep_one_in: usize) -> Trace {
+    assert!(keep_one_in > 0, "keep_one_in must be positive");
+    let mut out = trace.clone();
+    for app in &mut out.apps {
+        app.invocations = app
+            .invocations
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| k % keep_one_in == 0)
+            .map(|(_, i)| *i)
+            .collect();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::ibm::{generate, IbmFleetConfig};
+
+    fn fleet() -> Trace {
+        generate(&IbmFleetConfig::small(55))
+    }
+
+    #[test]
+    fn select_preserves_order_and_validates() {
+        let trace = fleet();
+        let sub = select_apps(&trace, &[5, 1, 9]);
+        assert_eq!(sub.apps.len(), 3);
+        assert_eq!(sub.apps[0].id, trace.apps[5].id);
+        assert_eq!(sub.apps[1].id, trace.apps[1].id);
+        assert!(sub.validate().is_ok());
+    }
+
+    #[test]
+    fn clip_rebases_and_bounds() {
+        let trace = fleet();
+        let day_ms = 86_400_000;
+        let clipped = clip_window(&trace, day_ms, 2 * day_ms);
+        assert_eq!(clipped.span_ms, day_ms);
+        assert!(clipped.validate().is_ok());
+        for app in &clipped.apps {
+            for inv in &app.invocations {
+                assert!(inv.start_ms < day_ms);
+            }
+        }
+        // Total invocations in the window match the original count.
+        let original_in_window: u64 = trace
+            .apps
+            .iter()
+            .flat_map(|a| &a.invocations)
+            .filter(|i| i.start_ms >= day_ms && i.start_ms < 2 * day_ms)
+            .count() as u64;
+        assert_eq!(clipped.total_invocations(), original_in_window);
+    }
+
+    #[test]
+    fn merge_renumbers_ids_uniquely() {
+        let a = fleet();
+        let b = generate(&IbmFleetConfig::small(56));
+        let merged = merge(&a, &b);
+        assert_eq!(merged.apps.len(), a.apps.len() + b.apps.len());
+        let mut ids: Vec<u32> = merged.apps.iter().map(|x| x.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), merged.apps.len(), "ids must be unique");
+        assert!(merged.validate().is_ok());
+        assert_eq!(
+            merged.total_invocations(),
+            a.total_invocations() + b.total_invocations()
+        );
+    }
+
+    #[test]
+    fn thin_keeps_every_kth() {
+        let trace = fleet();
+        let thinned = thin(&trace, 3);
+        assert!(thinned.validate().is_ok());
+        for (orig, new) in trace.apps.iter().zip(&thinned.apps) {
+            assert_eq!(
+                new.invocations.len(),
+                orig.invocations.len().div_ceil(3)
+            );
+            if let (Some(a), Some(b)) =
+                (orig.invocations.first(), new.invocations.first())
+            {
+                assert_eq!(a, b, "first invocation survives thinning");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clip window")]
+    fn empty_clip_panics() {
+        clip_window(&fleet(), 10, 10);
+    }
+}

@@ -1,0 +1,202 @@
+//! Train/test splitting and representative sampling.
+//!
+//! The paper's evaluation (§5.1) cleans the Azure trace, splits
+//! applications 70-30 into train and test (training further halved into
+//! train/validation), and samples sub-traces stratified by traffic volume
+//! (under 1 M, 1 M - 100 M, over 100 M invocations). The Knative workload
+//! (§5.2) samples 100 applications whose invocation-volume distribution
+//! follows the full dataset's.
+
+use femux_stats::rng::Rng;
+
+/// Traffic-volume class of an application, after the paper's thresholds.
+///
+/// The absolute thresholds (1 M / 100 M over 12 days) correspond to the
+/// full-scale production trace; scaled-down synthetic fleets pass their
+/// own thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VolumeClass {
+    /// Fewer than the low threshold of invocations.
+    Low,
+    /// Between the thresholds.
+    Mid,
+    /// Above the high threshold.
+    High,
+}
+
+/// Volume thresholds defining [`VolumeClass`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VolumeThresholds {
+    /// Boundary between Low and Mid.
+    pub low: u64,
+    /// Boundary between Mid and High.
+    pub high: u64,
+}
+
+impl VolumeThresholds {
+    /// The paper's production-scale thresholds (1 M and 100 M).
+    pub fn paper() -> Self {
+        VolumeThresholds {
+            low: 1_000_000,
+            high: 100_000_000,
+        }
+    }
+
+    /// Thresholds scaled by a volume factor, for reduced fleets.
+    pub fn scaled(factor: f64) -> Self {
+        VolumeThresholds {
+            low: (1_000_000.0 * factor).max(1.0) as u64,
+            high: (100_000_000.0 * factor).max(2.0) as u64,
+        }
+    }
+
+    /// Classifies a total invocation count.
+    pub fn classify(&self, invocations: u64) -> VolumeClass {
+        if invocations >= self.high {
+            VolumeClass::High
+        } else if invocations >= self.low {
+            VolumeClass::Mid
+        } else {
+            VolumeClass::Low
+        }
+    }
+}
+
+/// A 70-30 train/test split (with the train half further split into
+/// train/validation, as in §5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of training items.
+    pub train: Vec<usize>,
+    /// Indices of validation items.
+    pub validation: Vec<usize>,
+    /// Indices of test items.
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` items 70-30 into (train+validation)/test, then halves the
+/// 70 % into train and validation. Shuffling is seeded for
+/// reproducibility.
+pub fn train_test_split(n: usize, seed: u64) -> Split {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    rng.shuffle(&mut idx);
+    let test_start = (n as f64 * 0.7).round() as usize;
+    let train_val = &idx[..test_start];
+    let half = train_val.len() / 2;
+    Split {
+        train: train_val[..half].to_vec(),
+        validation: train_val[half..].to_vec(),
+        test: idx[test_start..].to_vec(),
+    }
+}
+
+/// Samples `k` indices so that the sampled volume distribution follows
+/// the full population's (the "representativity" requirement of §5.2):
+/// items are sorted by volume, divided into `k` equal-probability strata,
+/// and one item is drawn per stratum.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > volumes.len()`.
+pub fn representative_sample(
+    volumes: &[u64],
+    k: usize,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(k > 0 && k <= volumes.len(), "bad sample size");
+    let mut order: Vec<usize> = (0..volumes.len()).collect();
+    order.sort_by_key(|&i| volumes[i]);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(k);
+    for s in 0..k {
+        let lo = s * order.len() / k;
+        let hi = ((s + 1) * order.len() / k).max(lo + 1);
+        out.push(order[lo + rng.index(hi - lo)]);
+    }
+    out
+}
+
+/// Groups item indices by volume class.
+pub fn group_by_class(
+    volumes: &[u64],
+    thresholds: VolumeThresholds,
+) -> [Vec<usize>; 3] {
+    let mut groups: [Vec<usize>; 3] = Default::default();
+    for (i, &v) in volumes.iter().enumerate() {
+        match thresholds.classify(v) {
+            VolumeClass::Low => groups[0].push(i),
+            VolumeClass::Mid => groups[1].push(i),
+            VolumeClass::High => groups[2].push(i),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_everything() {
+        let split = train_test_split(100, 1);
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.validation)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        assert_eq!(split.test.len(), 30);
+        assert_eq!(split.train.len(), 35);
+        assert_eq!(split.validation.len(), 35);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(train_test_split(50, 7), train_test_split(50, 7));
+        assert_ne!(
+            train_test_split(50, 7).test,
+            train_test_split(50, 8).test
+        );
+    }
+
+    #[test]
+    fn classify_thresholds() {
+        let t = VolumeThresholds::paper();
+        assert_eq!(t.classify(999_999), VolumeClass::Low);
+        assert_eq!(t.classify(1_000_000), VolumeClass::Mid);
+        assert_eq!(t.classify(100_000_000), VolumeClass::High);
+    }
+
+    #[test]
+    fn scaled_thresholds() {
+        let t = VolumeThresholds::scaled(0.001);
+        assert_eq!(t.low, 1_000);
+        assert_eq!(t.high, 100_000);
+    }
+
+    #[test]
+    fn representative_sample_covers_volume_range() {
+        // Volumes spanning five decades; a 10-sample must include both
+        // tails.
+        let volumes: Vec<u64> =
+            (0..1_000).map(|i| 10u64.pow(1 + (i / 200) as u32)).collect();
+        let sample = representative_sample(&volumes, 10, 3);
+        assert_eq!(sample.len(), 10);
+        let vols: Vec<u64> = sample.iter().map(|&i| volumes[i]).collect();
+        assert!(vols.contains(&10));
+        assert!(vols.contains(&100_000));
+    }
+
+    #[test]
+    fn group_by_class_partitions() {
+        let volumes = vec![10, 2_000_000, 500, 200_000_000];
+        let groups = group_by_class(&volumes, VolumeThresholds::paper());
+        assert_eq!(groups[0], vec![0, 2]);
+        assert_eq!(groups[1], vec![1]);
+        assert_eq!(groups[2], vec![3]);
+    }
+}

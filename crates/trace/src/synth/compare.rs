@@ -1,0 +1,218 @@
+//! Cross-dataset comparison presets.
+//!
+//! Figures 3 and 15 and Table 1 compare the IBM trace against Azure '19,
+//! Azure '21, Huawei '22, and Huawei '24. We model each prior dataset by
+//! its published marginals (execution-time medians, popularity skew,
+//! timer-trigger share, total volume) so those comparison figures can be
+//! regenerated. These are *statistical sketches* of the public datasets,
+//! not the datasets themselves.
+
+use femux_stats::rng::{Rng, Zipf};
+
+/// A statistical sketch of one public serverless dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetPreset {
+    /// Dataset name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Number of workloads to synthesize for CDF comparisons.
+    pub n_apps: usize,
+    /// Span in days (Table 1).
+    pub duration_days: u32,
+    /// Total invocations in the real dataset (Table 1), for labels.
+    pub total_invocations: f64,
+    /// Median of per-app mean execution time, seconds.
+    pub exec_median_s: f64,
+    /// Log-normal sigma of per-app mean execution time.
+    pub exec_sigma: f64,
+    /// Zipf exponent of the popularity distribution (higher = more skew).
+    pub zipf_s: f64,
+    /// Fraction of workloads that are timer-triggered, producing the
+    /// vertical jumps Huawei's CDFs show (App. B.1).
+    pub timer_fraction: f64,
+}
+
+/// Azure Functions 2019 (Shahrad et al.).
+pub fn azure19() -> DatasetPreset {
+    DatasetPreset {
+        name: "Azure '19",
+        n_apps: 1_000,
+        duration_days: 14,
+        total_invocations: 12.5e9,
+        exec_median_s: 0.45,
+        exec_sigma: 1.5,
+        zipf_s: 0.78,
+        timer_fraction: 0.0,
+    }
+}
+
+/// Azure 2021 per-request trace (Zhang et al.).
+pub fn azure21() -> DatasetPreset {
+    DatasetPreset {
+        name: "Azure '21",
+        n_apps: 1_000,
+        duration_days: 14,
+        total_invocations: 2e6,
+        exec_median_s: 0.60,
+        exec_sigma: 1.4,
+        zipf_s: 0.85,
+        timer_fraction: 0.0,
+    }
+}
+
+/// Huawei Public 2022 (Joosen et al.).
+pub fn huawei22() -> DatasetPreset {
+    DatasetPreset {
+        name: "Huawei '22",
+        n_apps: 1_000,
+        duration_days: 26,
+        total_invocations: 2.5e9,
+        exec_median_s: 0.25,
+        exec_sigma: 1.3,
+        zipf_s: 0.80,
+        timer_fraction: 0.5,
+    }
+}
+
+/// Huawei 2024 (Joosen et al., EuroSys '25).
+pub fn huawei24() -> DatasetPreset {
+    DatasetPreset {
+        name: "Huawei '24",
+        n_apps: 1_000,
+        duration_days: 31,
+        total_invocations: 85e9,
+        exec_median_s: 0.08,
+        exec_sigma: 1.4,
+        zipf_s: 0.80,
+        timer_fraction: 0.63,
+    }
+}
+
+/// The IBM dataset sketch (this paper).
+pub fn ibm() -> DatasetPreset {
+    DatasetPreset {
+        name: "IBM",
+        n_apps: 1_283,
+        duration_days: 62,
+        total_invocations: 1.9e9,
+        exec_median_s: 0.05,
+        exec_sigma: 2.8,
+        zipf_s: 0.66,
+        timer_fraction: 0.1,
+    }
+}
+
+/// All presets in figure order.
+pub fn all_presets() -> Vec<DatasetPreset> {
+    vec![azure19(), azure21(), huawei22(), huawei24(), ibm()]
+}
+
+impl DatasetPreset {
+    /// Samples per-app mean execution times (seconds), the series behind
+    /// Fig. 3-Left.
+    pub fn sample_app_exec_means(&self, rng: &mut Rng) -> Vec<f64> {
+        (0..self.n_apps)
+            .map(|_| {
+                rng.lognormal(self.exec_median_s.ln(), self.exec_sigma)
+                    .clamp(0.001, 600.0)
+            })
+            .collect()
+    }
+
+    /// Samples normalized per-workload traffic shares (descending), the
+    /// series behind Fig. 15. Timer-triggered workloads cluster at a few
+    /// canonical volumes, creating the CDF jumps Huawei's datasets show.
+    pub fn sample_traffic_shares(&self, rng: &mut Rng) -> Vec<f64> {
+        let zipf = Zipf::new(self.n_apps, self.zipf_s);
+        let timer_volumes = [86_400.0, 1_440.0, 288.0];
+        let mut volumes: Vec<f64> = (0..self.n_apps)
+            .map(|rank| {
+                if rng.chance(self.timer_fraction) {
+                    // Period classes: per-second, per-minute, per-5-min.
+                    timer_volumes[rng.index(timer_volumes.len())]
+                        * self.duration_days as f64
+                } else {
+                    self.total_invocations * zipf.pmf(rank)
+                        * rng.lognormal(0.0, 0.4)
+                }
+            })
+            .collect();
+        volumes.sort_by(|a, b| b.partial_cmp(a).expect("finite volumes"));
+        let max = volumes[0];
+        volumes.iter().map(|v| v / max).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femux_stats::desc::{fraction_where, median};
+
+    #[test]
+    fn newer_datasets_have_shorter_execs() {
+        let mut rng = Rng::seed_from_u64(1);
+        let old = azure19().sample_app_exec_means(&mut rng);
+        let new = huawei24().sample_app_exec_means(&mut rng);
+        let ibm_exec = ibm().sample_app_exec_means(&mut rng);
+        assert!(median(&new).unwrap() < median(&old).unwrap());
+        assert!(median(&ibm_exec).unwrap() < median(&old).unwrap());
+    }
+
+    #[test]
+    fn azure19_sub_second_fraction() {
+        let mut rng = Rng::seed_from_u64(2);
+        let execs = azure19().sample_app_exec_means(&mut rng);
+        let frac = fraction_where(&execs, |x| x < 1.0);
+        assert!((frac - 0.70).abs() < 0.06, "fraction {frac}");
+    }
+
+    #[test]
+    fn traffic_shares_normalized_and_sorted() {
+        let mut rng = Rng::seed_from_u64(3);
+        for preset in all_presets() {
+            let shares = preset.sample_traffic_shares(&mut rng);
+            assert_eq!(shares.len(), preset.n_apps);
+            assert!((shares[0] - 1.0).abs() < 1e-12);
+            assert!(shares.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+
+    #[test]
+    fn ibm_has_more_mid_popularity_workloads() {
+        // App. B.1: IBM has over 30 workloads at >= 10 % of the top
+        // workload's traffic, more than the other datasets.
+        let mut rng = Rng::seed_from_u64(4);
+        let mut count_ge_10pct = |preset: &DatasetPreset| {
+            preset
+                .sample_traffic_shares(&mut rng)
+                .iter()
+                .filter(|s| **s >= 0.1)
+                .count()
+        };
+        let ibm_count = count_ge_10pct(&ibm());
+        let azure_count = count_ge_10pct(&azure19());
+        let huawei_count = count_ge_10pct(&huawei24());
+        assert!(
+            ibm_count > azure_count,
+            "ibm {ibm_count} azure {azure_count}"
+        );
+        assert!(
+            ibm_count > huawei_count,
+            "ibm {ibm_count} huawei {huawei_count}"
+        );
+        assert!(ibm_count >= 15, "ibm {ibm_count}");
+    }
+
+    #[test]
+    fn huawei_shares_show_timer_clusters() {
+        let mut rng = Rng::seed_from_u64(5);
+        let shares = huawei24().sample_traffic_shares(&mut rng);
+        // Timer workloads create repeated identical share values.
+        let mut dupes = 0;
+        for w in shares.windows(2) {
+            if (w[0] - w[1]).abs() < 1e-12 && w[0] > 0.0 {
+                dupes += 1;
+            }
+        }
+        assert!(dupes > 50, "only {dupes} duplicated shares");
+    }
+}

@@ -1,0 +1,13 @@
+//! Synthetic trace generation.
+//!
+//! These generators substitute for production datasets that cannot be
+//! shipped (see `DESIGN.md`): a calibrated IBM Cloud Code Engine fleet
+//! ([`ibm`]), an Azure Functions 2019 fleet ([`azure`]) for the §5.1
+//! evaluation, the underlying arrival-process catalogue ([`patterns`]),
+//! and statistical sketches of prior public datasets ([`compare`]) for
+//! the cross-dataset figures.
+
+pub mod azure;
+pub mod compare;
+pub mod ibm;
+pub mod patterns;

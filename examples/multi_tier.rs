@@ -1,0 +1,134 @@
+//! Multi-tier RUMs: run premium apps under FeMux-CS and regular apps
+//! under the default RUM on the same platform (§5.1.2 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example multi_tier
+//! ```
+
+use femux_repro::core::config::FemuxConfig;
+use femux_repro::core::model::{train, ClassifierKind, TrainApp};
+use femux_repro::rum::paper_tiers;
+use femux_repro::stats::rng::Rng;
+use femux_repro::trace::synth::azure::{generate, AzureFleetConfig};
+
+use femux::label::{capacity_costs, AppParams};
+use femux::manager::AppManager;
+use std::sync::Arc;
+
+/// Evaluates one app under a trained model on the capacity cost model.
+fn eval(
+    app: &TrainApp,
+    model: &Arc<femux::model::FemuxModel>,
+) -> femux_rum::CostRecord {
+    let history = model.cfg.history;
+    if app.concurrency.len() <= history {
+        return femux_rum::CostRecord::default();
+    }
+    let mut mgr = AppManager::new(model.clone(), app.exec_secs);
+    let mut forecast = Vec::new();
+    for (t, &v) in app.concurrency.iter().enumerate() {
+        if t >= history {
+            forecast.push(mgr.forecast(1)[0]);
+        }
+        mgr.observe(v);
+    }
+    capacity_costs(
+        &forecast,
+        &app.concurrency[history..],
+        &AppParams {
+            mem_gb: app.mem_gb,
+            pod_concurrency: 1.0,
+            exec_secs: app.exec_secs,
+            step_secs: 60.0,
+            cold_start_secs: 0.808,
+        },
+    )
+}
+
+fn main() {
+    let fleet = generate(&AzureFleetConfig {
+        n_apps: 80,
+        days: 4,
+        seed: 1212,
+        rate_scale: 0.4,
+    });
+    let apps: Vec<TrainApp> = fleet
+        .apps
+        .iter()
+        .map(|a| TrainApp {
+            concurrency: a.concurrency_series(),
+            exec_secs: a.daily_avg_exec_ms[0] / 1_000.0,
+            mem_gb: a.mem_mb as f64 / 1_024.0,
+            pod_concurrency: 1,
+        })
+        .collect();
+    let (train_apps, test_apps) = apps.split_at(apps.len() / 2);
+
+    // The paper's two tiers: premium on FeMux-CS (4x cold-start weight),
+    // regular on the default RUM.
+    let (premium, regular, premium_frac) = paper_tiers();
+    println!(
+        "tiers: {} = {}, {} = {}, premium fraction = {premium_frac}",
+        premium.name,
+        premium.rum.label(),
+        regular.name,
+        regular.rum.label()
+    );
+
+    let base = FemuxConfig {
+        block_len: 360,
+        history: 120,
+        label_stride: 15,
+        ..FemuxConfig::default()
+    };
+    let default_model = Arc::new(
+        train(train_apps, &base, ClassifierKind::KMeans).expect("model"),
+    );
+    let cs_cfg = FemuxConfig {
+        rum: premium.rum,
+        ..base
+    };
+    let cs_model = Arc::new(
+        train(train_apps, &cs_cfg, ClassifierKind::KMeans).expect("model"),
+    );
+
+    // Assign 10 % of test apps to the premium tier.
+    let mut rng = Rng::seed_from_u64(9);
+    let n_premium = (test_apps.len() / 10).max(1);
+    let premium_idx = rng.sample_indices(test_apps.len(), n_premium);
+
+    let mut premium_cs_default = 0.0;
+    let mut premium_cs_tiered = 0.0;
+    let mut waste_all_cs = 0.0;
+    let mut waste_tiered = 0.0;
+    for (i, app) in test_apps.iter().enumerate() {
+        let d = eval(app, &default_model);
+        let c = eval(app, &cs_model);
+        let is_premium = premium_idx.contains(&i);
+        if is_premium {
+            premium_cs_default += d.cold_start_seconds;
+            premium_cs_tiered += c.cold_start_seconds;
+        }
+        waste_all_cs += c.wasted_gb_seconds;
+        waste_tiered += if is_premium {
+            c.wasted_gb_seconds
+        } else {
+            d.wasted_gb_seconds
+        };
+    }
+    println!(
+        "\npremium cold-start seconds: {premium_cs_default:.1} (all default) \
+         -> {premium_cs_tiered:.1} (tiered) = {:+.1}%",
+        100.0 * (premium_cs_tiered - premium_cs_default)
+            / premium_cs_default.max(1e-9)
+    );
+    println!(
+        "fleet wasted GB-s: {waste_all_cs:.0} (all FeMux-CS) -> \
+         {waste_tiered:.0} (tiered) = {:+.1}%",
+        100.0 * (waste_tiered - waste_all_cs) / waste_all_cs.max(1e-9)
+    );
+    println!(
+        "\nThe tiered deployment gives premium apps the cold-start \
+         treatment without paying FeMux-CS's memory bill fleet-wide."
+    );
+}

@@ -1,0 +1,114 @@
+//! Quickstart: train FeMux on a synthetic fleet and deploy it in the
+//! simulator against Knative's default autoscaling.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use femux_repro::core::config::FemuxConfig;
+use femux_repro::core::manager::FemuxPolicy;
+use femux_repro::core::model::{train, ClassifierKind, TrainApp};
+use femux_repro::rum::RumSpec;
+use femux_repro::sim::{run_fleet, KnativeDefaultPolicy, SimConfig};
+use femux_repro::trace::split::train_test_split;
+use femux_repro::trace::synth::azure::{generate, AzureFleetConfig};
+
+fn main() {
+    // 1. Synthesize an Azure-'19-like fleet (per-minute counts, daily
+    //    execution times, per-app memory) and split it 70/30.
+    let fleet = generate(&AzureFleetConfig {
+        n_apps: 40,
+        days: 3,
+        seed: 99,
+        rate_scale: 0.3,
+    });
+    let split = train_test_split(fleet.apps.len(), 7);
+    println!(
+        "fleet: {} apps, {} invocations over {} days",
+        fleet.apps.len(),
+        fleet.total_invocations(),
+        fleet.days
+    );
+
+    // 2. Train FeMux: label blocks with every candidate forecaster's
+    //    RUM, extract features, cluster, and assign forecasters.
+    let cfg = FemuxConfig {
+        block_len: 240,
+        history: 60,
+        label_stride: 10,
+        forecasters: vec![
+            femux_repro::forecast::ForecasterKind::Ar,
+            femux_repro::forecast::ForecasterKind::Fft,
+            femux_repro::forecast::ForecasterKind::Ses,
+            femux_repro::forecast::ForecasterKind::Markov,
+        ],
+        ..FemuxConfig::default()
+    };
+    let train_apps: Vec<TrainApp> = split
+        .train
+        .iter()
+        .map(|&i| {
+            let a = &fleet.apps[i];
+            TrainApp {
+                concurrency: a.concurrency_series(),
+                exec_secs: a.daily_avg_exec_ms[0] / 1_000.0,
+                mem_gb: a.mem_mb as f64 / 1_024.0,
+                pod_concurrency: 1,
+            }
+        })
+        .collect();
+    let model = Arc::new(
+        train(&train_apps, &cfg, ClassifierKind::KMeans)
+            .expect("the training fleet yields blocks"),
+    );
+    println!(
+        "trained on {} blocks from {} apps; default forecaster: {}",
+        model.stats.n_blocks, model.stats.n_apps, model.default_forecaster
+    );
+
+    // 3. Replay the held-out apps through the request-level simulator
+    //    under FeMux and under Knative's default reactive policy.
+    let full = fleet.to_trace();
+    let mut test_trace = femux_repro::trace::Trace::new(full.span_ms);
+    for &i in &split.test {
+        test_trace.apps.push(full.apps[i].clone());
+    }
+    let sim_cfg = SimConfig {
+        respect_min_scale: false,
+        ..SimConfig::default()
+    };
+    let femux_out = run_fleet(&test_trace, &sim_cfg, |_, app| {
+        Box::new(FemuxPolicy::new(
+            Arc::clone(&model),
+            app.invocations
+                .first()
+                .map(|i| i.duration_ms as f64 / 1_000.0)
+                .unwrap_or(1.0),
+        ))
+    });
+    let knative_out = run_fleet(&test_trace, &sim_cfg, |_, _| {
+        Box::new(KnativeDefaultPolicy)
+    });
+
+    // 4. Compare on the RUM FeMux optimizes.
+    let rum = RumSpec::default_paper();
+    let femux_rum = rum.evaluate_fleet(&femux_out.per_app);
+    let knative_rum = rum.evaluate_fleet(&knative_out.per_app);
+    println!("\n                      femux    knative-default");
+    println!(
+        "cold starts      {:>10} {:>18}",
+        femux_out.total.cold_starts, knative_out.total.cold_starts
+    );
+    println!(
+        "wasted GB-s      {:>10.0} {:>18.0}",
+        femux_out.total.wasted_gb_seconds,
+        knative_out.total.wasted_gb_seconds
+    );
+    println!("RUM              {femux_rum:>10.1} {knative_rum:>18.1}");
+    println!(
+        "\nFeMux changes RUM by {:+.1}% vs the Knative default.",
+        100.0 * (femux_rum - knative_rum) / knative_rum
+    );
+}

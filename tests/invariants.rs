@@ -1,0 +1,161 @@
+//! Property-based cross-crate invariants.
+//!
+//! These proptest suites drive the simulator and metric stack with
+//! randomized workloads and assert the conservation laws every
+//! experiment relies on: each invocation served exactly once, waste
+//! bounded by allocation, cold starts bounded by invocations, RUM
+//! monotone in its weights, and FFT/scaler round-trips exact.
+
+use proptest::prelude::*;
+
+use femux_rum::RumSpec;
+use femux_sim::{simulate_app, KeepAlivePolicy, SimConfig, ZeroPolicy};
+use femux_stats::fft::{fft, ifft, Complex};
+use femux_trace::types::{AppId, AppRecord, Invocation, WorkloadKind};
+
+fn arb_app() -> impl Strategy<Value = AppRecord> {
+    (
+        proptest::collection::vec((0u64..600_000, 1u32..30_000), 0..60),
+        1u32..4u32,
+        0u32..3u32,
+    )
+        .prop_map(|(mut raw, concurrency, min_scale)| {
+            raw.sort_unstable();
+            let mut app =
+                AppRecord::new(AppId(0), WorkloadKind::Application);
+            app.config.concurrency = concurrency;
+            app.config.min_scale = min_scale;
+            app.mem_used_mb = 512;
+            app.invocations = raw
+                .into_iter()
+                .map(|(start_ms, duration_ms)| Invocation {
+                    start_ms,
+                    duration_ms,
+                    delay_ms: 0,
+                })
+                .collect();
+            app
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulator_conservation(app in arb_app(), keepalive in prop::bool::ANY) {
+        let cfg = SimConfig::default();
+        let res = if keepalive {
+            simulate_app(&app, &mut KeepAlivePolicy::five_minutes(), 600_000, &cfg)
+        } else {
+            simulate_app(&app, &mut ZeroPolicy, 600_000, &cfg)
+        };
+        // Every invocation served exactly once.
+        prop_assert_eq!(res.costs.invocations, app.invocations.len() as u64);
+        // Structural consistency.
+        prop_assert!(res.costs.check().is_ok(), "{:?}", res.costs.check());
+        // Exec time conserved exactly.
+        let expected_exec: f64 = app
+            .invocations
+            .iter()
+            .map(|i| i.duration_ms as f64 / 1_000.0)
+            .sum();
+        prop_assert!((res.costs.exec_seconds - expected_exec).abs() < 1e-6);
+        // Cold starts bounded by invocations.
+        prop_assert!(res.costs.cold_starts <= res.costs.invocations);
+    }
+
+    #[test]
+    fn min_scale_never_increases_cold_starts(app in arb_app()) {
+        let with = {
+            let mut a = app.clone();
+            a.config.min_scale = 2;
+            simulate_app(&a, &mut ZeroPolicy, 600_000, &SimConfig::default())
+        };
+        let without = {
+            let mut a = app.clone();
+            a.config.min_scale = 0;
+            simulate_app(&a, &mut ZeroPolicy, 600_000, &SimConfig::default())
+        };
+        prop_assert!(with.costs.cold_starts <= without.costs.cold_starts);
+    }
+
+    #[test]
+    fn rum_monotone_in_costs(
+        cs in 0.0f64..1_000.0,
+        waste in 0.0f64..10_000.0,
+        extra in 0.01f64..100.0,
+    ) {
+        let base = femux_rum::CostRecord {
+            invocations: 1,
+            cold_starts: 1,
+            cold_start_seconds: cs,
+            wasted_gb_seconds: waste,
+            allocated_gb_seconds: waste + 1.0,
+            exec_seconds: 1.0,
+            service_seconds: 1.0,
+        };
+        let mut worse = base;
+        worse.cold_start_seconds += extra;
+        worse.wasted_gb_seconds += extra;
+        worse.allocated_gb_seconds += extra;
+        for rum in [
+            RumSpec::default_paper(),
+            RumSpec::femux_cs(),
+            RumSpec::femux_mem(),
+            RumSpec::femux_exec(),
+        ] {
+            prop_assert!(rum.evaluate(&worse) > rum.evaluate(&base));
+        }
+    }
+
+    #[test]
+    fn fft_round_trip(values in proptest::collection::vec(-100.0f64..100.0, 1..300)) {
+        let input: Vec<Complex> =
+            values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let back = ifft(&fft(&input));
+        for (a, b) in input.iter().zip(&back) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!(b.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scaler_round_trip(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e3f64..1e3, 3),
+            2..40,
+        )
+    ) {
+        let scaler = femux_classify::StandardScaler::fit(&rows);
+        for row in &rows {
+            let mut r = row.clone();
+            scaler.transform_row(&mut r);
+            scaler.inverse_row(&mut r);
+            for (a, b) in r.iter().zip(row) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn forecasters_always_return_valid_output(
+        values in proptest::collection::vec(0.0f64..50.0, 0..200),
+        horizon in 0usize..5,
+    ) {
+        for kind in femux_forecast::ForecasterKind::ALL {
+            let mut f = kind.build();
+            let out = f.forecast(&values, horizon);
+            prop_assert_eq!(out.len(), horizon);
+            let cap = 10.0
+                * (1.0 + values.iter().fold(0.0f64, |a, &b| a.max(b)));
+            for v in out {
+                prop_assert!(v.is_finite() && v >= 0.0, "{} produced {}", kind, v);
+                prop_assert!(
+                    v <= cap + 1e-6,
+                    "{} produced {} above cap {}",
+                    kind, v, cap
+                );
+            }
+        }
+    }
+}
