@@ -17,7 +17,7 @@ use femux_knative::{
     ScalabilityConfig,
 };
 use femux_rum::RumSpec;
-use femux_sim::{run_fleet, SimConfig};
+use femux_sim::{run_fleet_auto, SimConfig};
 use femux_trace::split::representative_sample;
 use femux_trace::Trace;
 
@@ -70,11 +70,11 @@ fn main() {
         ..SimConfig::default()
     };
     eprintln!("replaying subtrace under KPA...");
-    let kpa_out = run_fleet(&sub, &sim_cfg, |_, _| {
+    let kpa_out = run_fleet_auto(&sub, &sim_cfg, |_, _| {
         Box::new(KpaPolicy::new(KpaConfig::default()))
     });
     eprintln!("replaying subtrace under FeMux...");
-    let femux_out = run_fleet(&sub, &sim_cfg, |_, app| {
+    let femux_out = run_fleet_auto(&sub, &sim_cfg, |_, app| {
         Box::new(FemuxKnativePolicy::new(
             Arc::clone(&model),
             app.invocations

@@ -56,26 +56,21 @@ fn main() {
         &rows,
     );
 
-    // Switching statistics from replaying the managers.
-    let mut switched = 0usize;
-    let mut four_plus = 0usize;
-    let mut counted = 0usize;
-    for app in &apps {
+    // Switching statistics from replaying the managers. Replays are
+    // independent per app, so fan out across FEMUX_THREADS workers.
+    let stats = femux_par::par_map(&apps, |_, app| {
         if app.concurrency.len() < cfg.block_len {
-            continue;
+            return None;
         }
-        counted += 1;
         let mut mgr = AppManager::new(model.clone(), app.exec_secs);
         for &v in &app.concurrency {
             mgr.observe(v);
         }
-        if mgr.switches() > 0 {
-            switched += 1;
-        }
-        if mgr.distinct_forecasters() >= 4 {
-            four_plus += 1;
-        }
-    }
+        Some((mgr.switches() > 0, mgr.distinct_forecasters() >= 4))
+    });
+    let counted = stats.iter().flatten().count();
+    let switched = stats.iter().flatten().filter(|(s, _)| *s).count();
+    let four_plus = stats.iter().flatten().filter(|(_, f)| *f).count();
     print_table(
         "Fig. 17 — switching statistics (paper: >65% of apps switched; \
          20% used 4+ forecasters)",

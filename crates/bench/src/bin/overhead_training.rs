@@ -81,6 +81,10 @@ fn main() {
     );
 
     // --- Aquatope cost profile. ---
+    // Deliberately sequential: this loop *measures* per-app training
+    // wall clock, and concurrent LSTM fits would contend for cores and
+    // inflate the very numbers being reported. The FeMux side above
+    // already exercises the parallel pipeline via `label_fleet`.
     let n_lstm = match scale {
         Scale::Small => 5,
         _ => 20,

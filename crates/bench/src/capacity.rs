@@ -69,17 +69,20 @@ pub fn eval_femux(
 }
 
 /// Evaluates a whole test split under FeMux, returning per-app records.
+///
+/// Applications are independent, so the sweep fans out across
+/// `FEMUX_THREADS` workers; records come back in app order regardless
+/// of thread count.
 pub fn eval_femux_fleet(
     apps: &[TrainApp],
     model: &Arc<FemuxModel>,
     cold_start_secs: f64,
 ) -> Vec<CostRecord> {
-    apps.iter()
-        .map(|a| eval_femux(a, model, cold_start_secs))
-        .collect()
+    femux_par::par_map(apps, |_, a| eval_femux(a, model, cold_start_secs))
 }
 
-/// Evaluates a whole test split under a single forecaster.
+/// Evaluates a whole test split under a single forecaster (parallel
+/// over apps, app-ordered output).
 pub fn eval_forecaster_fleet(
     apps: &[TrainApp],
     kind: ForecasterKind,
@@ -87,11 +90,9 @@ pub fn eval_forecaster_fleet(
     stride: usize,
     cold_start_secs: f64,
 ) -> Vec<CostRecord> {
-    apps.iter()
-        .map(|a| {
-            eval_single_forecaster(a, kind, history, stride, cold_start_secs)
-        })
-        .collect()
+    femux_par::par_map(apps, |_, a| {
+        eval_single_forecaster(a, kind, history, stride, cold_start_secs)
+    })
 }
 
 /// A keep-alive policy on the capacity model: provisions the peak

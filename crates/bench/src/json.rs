@@ -2,15 +2,17 @@
 //!
 //! Each experiment binary prints human-readable tables; this module lets
 //! them additionally persist machine-readable results (for plotting or
-//! regression tracking) when `FEMUX_JSON_DIR` is set.
+//! regression tracking) when `FEMUX_JSON_DIR` is set. The document shape
+//! is fixed and shallow, so the JSON is emitted directly rather than
+//! through a serialization framework (the build environment is offline
+//! and cannot fetch serde).
 
+use std::fmt::Write as _;
 use std::io::Write;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
 /// A named `(x, y)` series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Series name (as printed by the table module).
     pub name: String,
@@ -19,7 +21,7 @@ pub struct Series {
 }
 
 /// A complete experiment result document.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExperimentDoc {
     /// Experiment id (e.g. "fig11").
     pub id: String,
@@ -27,6 +29,36 @@ pub struct ExperimentDoc {
     pub metrics: Vec<(String, f64)>,
     /// Plot series.
     pub series: Vec<Series>,
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number (JSON has no NaN/Infinity; those
+/// become null so downstream tooling fails loudly instead of parsing
+/// garbage).
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 impl ExperimentDoc {
@@ -57,6 +89,51 @@ impl ExperimentDoc {
         self
     }
 
+    /// Renders the document as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"id\": \"{}\",", escape(&self.id));
+        out.push_str("  \"metrics\": [");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    [\"{}\", {}]",
+                escape(name),
+                number(*value)
+            );
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"series\": [");
+        for (i, series) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"points\": [",
+                escape(&series.name)
+            );
+            for (j, (x, y)) in series.points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{}, {}]", number(*x), number(*y));
+            }
+            out.push_str("]}");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
     /// Writes the document to `$FEMUX_JSON_DIR/<id>.json` when the
     /// environment variable is set; silently does nothing otherwise.
     /// Returns the path written, if any.
@@ -67,7 +144,7 @@ impl ExperimentDoc {
             return None;
         }
         path.push(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(self).ok()?;
+        let json = self.to_json();
         let mut file = std::fs::File::create(&path).ok()?;
         file.write_all(json.as_bytes()).ok()?;
         Some(path)
@@ -83,10 +160,20 @@ mod tests {
         let mut doc = ExperimentDoc::new("demo");
         doc.metric("rum", 12.5)
             .series("cdf", vec![(0.0, 0.0), (1.0, 1.0)]);
-        let json = serde_json::to_string(&doc).expect("serializes");
+        let json = doc.to_json();
         assert!(json.contains("\"demo\""));
         assert!(json.contains("12.5"));
         assert!(json.contains("cdf"));
+    }
+
+    #[test]
+    fn escapes_and_non_finite_values() {
+        let mut doc = ExperimentDoc::new("quo\"te");
+        doc.metric("nan", f64::NAN).metric("plain", 2.0);
+        let json = doc.to_json();
+        assert!(json.contains("quo\\\"te"));
+        assert!(json.contains("[\"nan\", null]"));
+        assert!(json.contains("[\"plain\", 2]"));
     }
 
     #[test]

@@ -56,6 +56,11 @@ impl KMeans {
     /// If there are fewer distinct rows than `k`, the effective cluster
     /// count shrinks gracefully (duplicate centroids collapse).
     ///
+    /// Restarts run in parallel: each restart's PRNG seed is drawn from
+    /// the master stream *before* dispatch, and the winner is the
+    /// lowest-inertia model with ties broken by restart order, so the
+    /// result is identical for every `FEMUX_THREADS` setting.
+    ///
     /// # Panics
     ///
     /// Panics if `rows` is empty, ragged, or `cfg.k == 0`.
@@ -68,17 +73,17 @@ impl KMeans {
             "ragged feature matrix"
         );
         let mut rng = Rng::seed_from_u64(cfg.seed);
-        let mut best: Option<KMeans> = None;
-        for _ in 0..cfg.restarts.max(1) {
-            let model = Self::fit_once(rows, cfg, &mut rng);
-            if best
-                .as_ref()
-                .is_none_or(|b| model.inertia < b.inertia)
-            {
-                best = Some(model);
-            }
-        }
-        best.expect("at least one restart ran")
+        let seeds: Vec<u64> = (0..cfg.restarts.max(1))
+            .map(|_| rng.next_u64())
+            .collect();
+        femux_par::par_map(&seeds, |_, &seed| {
+            Self::fit_once(rows, cfg, &mut Rng::seed_from_u64(seed))
+        })
+        .into_iter()
+        .min_by(|a, b| {
+            a.inertia.partial_cmp(&b.inertia).expect("finite inertia")
+        })
+        .expect("at least one restart ran")
     }
 
     fn fit_once(
@@ -113,9 +118,7 @@ impl KMeans {
         let mut iterations = 0;
         for iter in 0..cfg.max_iter {
             iterations = iter + 1;
-            for (a, row) in assignment.iter_mut().zip(rows) {
-                *a = nearest(&centroids, row).0;
-            }
+            assignment = assign_rows(rows, &centroids);
             let mut sums: Vec<Vec<f64>> =
                 vec![vec![0.0; rows[0].len()]; centroids.len()];
             let mut counts = vec![0usize; centroids.len()];
@@ -167,9 +170,31 @@ impl KMeans {
         nearest(&self.centroids, row).0
     }
 
-    /// Predicts clusters for a matrix.
+    /// Predicts clusters for a matrix (parallel over rows; output is in
+    /// row order and identical for every thread count).
     pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict(r)).collect()
+        assign_rows(rows, &self.centroids)
+    }
+}
+
+/// Rows of work per parallel dispatch in the assignment step; cheap
+/// enough per row that per-item dispatch would dominate.
+const ASSIGN_CHUNK: usize = 256;
+
+/// Parallel work threshold for the assignment step: below roughly this
+/// many row-centroid distance evaluations, thread dispatch costs more
+/// than it saves. Correctness never depends on the branch taken — the
+/// per-row computation is pure.
+const ASSIGN_PAR_THRESHOLD: usize = 1 << 14;
+
+/// Assigns each row to its nearest centroid, in row order.
+fn assign_rows(rows: &[Vec<f64>], centroids: &[Vec<f64>]) -> Vec<usize> {
+    if rows.len() * centroids.len() >= ASSIGN_PAR_THRESHOLD {
+        femux_par::par_map_chunked(rows, ASSIGN_CHUNK, |_, row| {
+            nearest(centroids, row).0
+        })
+    } else {
+        rows.iter().map(|row| nearest(centroids, row).0).collect()
     }
 }
 

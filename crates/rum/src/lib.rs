@@ -19,10 +19,8 @@ pub mod weights;
 
 pub use costs::{aggregate, CostRecord};
 
-use serde::{Deserialize, Serialize};
-
 /// A RUM formulation with its weights.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RumSpec {
     /// Eq. (1): linear combination of cold-start seconds and waste.
     Weighted {
@@ -118,7 +116,7 @@ impl RumSpec {
 
 /// A service tier in a multi-RUM deployment (§5.1.2): providers run
 /// premium and regular applications under different RUMs simultaneously.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tier {
     /// Tier name ("premium", "regular").
     pub name: &'static str,

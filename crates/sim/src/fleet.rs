@@ -48,9 +48,11 @@ where
 }
 
 /// Runs `make_policy` over every app in parallel across `threads`
-/// workers. The policy factory must be callable from any worker, so it
-/// takes `&Fn` (stateless construction); results are identical to
-/// [`run_fleet`] since applications are independent.
+/// workers (via the `femux-par` substrate). The policy factory must be
+/// callable from any worker, so it takes `&Fn` (stateless
+/// construction); results are identical to [`run_fleet`] since
+/// applications are independent and per-app records are collected in
+/// trace order before the (sequential) total merge.
 pub fn run_fleet_parallel<F>(
     trace: &Trace,
     cfg: &SimConfig,
@@ -60,41 +62,30 @@ pub fn run_fleet_parallel<F>(
 where
     F: Fn(usize, &AppRecord) -> Box<dyn ScalingPolicy> + Sync,
 {
-    let threads = threads.max(1);
-    let n = trace.apps.len();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<CostRecord>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let app = &trace.apps[i];
-                let mut policy = make_policy(i, app);
-                let result =
-                    simulate_app(app, policy.as_mut(), trace.span_ms, cfg);
-                *results[i].lock().expect("no poisoned locks") =
-                    Some(result.costs);
-            });
-        }
-    });
-    let per_app: Vec<CostRecord> = results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("no poisoned locks")
-                .expect("every app simulated")
-        })
-        .collect();
+    let per_app =
+        femux_par::par_map_threads(&trace.apps, threads, |i, app| {
+            let mut policy = make_policy(i, app);
+            simulate_app(app, policy.as_mut(), trace.span_ms, cfg).costs
+        });
     let mut total = CostRecord::default();
     for r in &per_app {
         total.merge(r);
     }
     FleetOutcome { per_app, total }
+}
+
+/// [`run_fleet_parallel`] sized by the ambient `femux-par` thread count
+/// (`FEMUX_THREADS` or available parallelism) — the entry point the
+/// experiment binaries use for fleet sweeps.
+pub fn run_fleet_auto<F>(
+    trace: &Trace,
+    cfg: &SimConfig,
+    make_policy: F,
+) -> FleetOutcome
+where
+    F: Fn(usize, &AppRecord) -> Box<dyn ScalingPolicy> + Sync,
+{
+    run_fleet_parallel(trace, cfg, femux_par::thread_count(), make_policy)
 }
 
 /// Runs the fleet but also returns the full [`SimResult`] per app

@@ -22,7 +22,8 @@ pub use engine::{
     simulate_app, ScaleEvent, ScaleLimit, SimConfig, SimResult,
 };
 pub use fleet::{
-    run_fleet, run_fleet_detailed, run_fleet_parallel, FleetOutcome,
+    run_fleet, run_fleet_auto, run_fleet_detailed, run_fleet_parallel,
+    FleetOutcome,
 };
 pub use policy::{
     FixedPolicy, ForecastPolicy, KeepAlivePolicy, KnativeDefaultPolicy,

@@ -6,8 +6,6 @@
 //! memory, container concurrency, minimum pod scale) — the fields Table 1
 //! credits as unique to that trace.
 
-use serde::{Deserialize, Serialize};
-
 /// Milliseconds in one second.
 pub const MS_PER_SEC: u64 = 1_000;
 /// Milliseconds in one minute.
@@ -18,18 +16,7 @@ pub const MS_PER_HOUR: u64 = 3_600_000;
 pub const MS_PER_DAY: u64 = 86_400_000;
 
 /// Identifier of an application (or function) within a trace.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Serialize,
-    Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AppId(pub u32);
 
 impl std::fmt::Display for AppId {
@@ -40,9 +27,7 @@ impl std::fmt::Display for AppId {
 
 /// The kind of serverless workload, per IBM's platform mix (§2.1: ~75 %
 /// applications, ~15 % batch jobs, ~10 % functions).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// A custom-container application (may serve many concurrent requests).
     Application,
@@ -53,9 +38,7 @@ pub enum WorkloadKind {
 }
 
 /// Per-application resource and scaling configuration (Fig. 7 fields).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AppConfig {
     /// Requested CPU in millicores (default 1000 = 1 vCPU).
     pub cpu_milli: u32,
@@ -86,9 +69,7 @@ impl AppConfig {
 }
 
 /// A single invocation record.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Invocation {
     /// Arrival time in milliseconds since trace start.
     pub start_ms: u64,
@@ -113,7 +94,7 @@ impl Invocation {
 
 /// All data for one application: identity, configuration, and its
 /// time-sorted invocations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppRecord {
     /// Application identity.
     pub id: AppId,
@@ -182,7 +163,7 @@ impl AppRecord {
 }
 
 /// A complete trace: a fleet of applications over a common time span.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Duration of the trace in milliseconds.
     pub span_ms: u64,

@@ -1,0 +1,370 @@
+//! In-tree stand-in for the `crossbeam` channel API.
+//!
+//! The build environment is fully offline, so the workspace cannot pull
+//! the real `crossbeam` from crates.io. This shim provides the exact
+//! subset the workspace uses — multi-producer/multi-consumer bounded and
+//! unbounded channels with `recv_timeout` and `try_iter` — implemented
+//! on a mutex-protected ring with condition variables. Semantics match
+//! crossbeam for that subset: cloned receivers *share* the queue (each
+//! message is consumed once), senders unblock receivers on disconnect,
+//! and a bounded sender blocks while the channel is full.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// The sending half of a channel. Clonable; the channel disconnects
+    /// when every sender is dropped.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Clonable; clones share one queue.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(
+        capacity: Option<usize>,
+    ) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state =
+                self.shared.state.lock().expect("channel lock");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self
+                            .shared
+                            .not_full
+                            .wait(state)
+                            .expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state =
+                self.shared.state.lock().expect("channel lock");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one arrives or all senders
+        /// disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state =
+                self.shared.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .not_empty
+                    .wait(state)
+                    .expect("channel lock");
+            }
+        }
+
+        /// Receives with a deadline relative to now.
+        pub fn recv_timeout(
+            &self,
+            timeout: Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state =
+                self.shared.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel lock");
+                state = guard;
+                if res.timed_out()
+                    && state.queue.is_empty()
+                    && state.senders > 0
+                {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state =
+                self.shared.state.lock().expect("channel lock");
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Iterator draining whatever is currently buffered without
+        /// blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().expect("channel lock").queue.len()
+        }
+
+        /// True when nothing is buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel lock").receivers +=
+                1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state =
+                self.shared.state.lock().expect("channel lock");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// See [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn round_trip_unbounded() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cloned_receivers_share_one_queue() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut seen = Vec::new();
+        seen.extend(rx1.try_iter());
+        seen.extend(rx2.try_iter());
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            // Blocks until the consumer below frees a slot.
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_consumes_each_message_once() {
+        let (tx, rx) = bounded(64);
+        let n = 1_000u64;
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 1..=n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 =
+            consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, n * (n + 1) / 2);
+    }
+}

@@ -1,71 +1,100 @@
 //! Property-based cross-crate invariants.
 //!
-//! These proptest suites drive the simulator and metric stack with
-//! randomized workloads and assert the conservation laws every
-//! experiment relies on: each invocation served exactly once, waste
-//! bounded by allocation, cold starts bounded by invocations, RUM
-//! monotone in its weights, and FFT/scaler round-trips exact.
-
-use proptest::prelude::*;
+//! These randomized suites drive the simulator and metric stack with
+//! arbitrary workloads and assert the conservation laws every experiment
+//! relies on: each invocation served exactly once, waste bounded by
+//! allocation, cold starts bounded by invocations, RUM monotone in its
+//! weights, and FFT/scaler round-trips exact.
+//!
+//! The generators run on the in-tree deterministic PRNG instead of
+//! proptest (the build environment is offline and cannot fetch it): each
+//! property draws `CASES` inputs from seeded streams, so failures
+//! reproduce exactly and every case's seed is printed on assert.
 
 use femux_rum::RumSpec;
 use femux_sim::{simulate_app, KeepAlivePolicy, SimConfig, ZeroPolicy};
 use femux_stats::fft::{fft, ifft, Complex};
+use femux_stats::rng::Rng;
 use femux_trace::types::{AppId, AppRecord, Invocation, WorkloadKind};
 
-fn arb_app() -> impl Strategy<Value = AppRecord> {
-    (
-        proptest::collection::vec((0u64..600_000, 1u32..30_000), 0..60),
-        1u32..4u32,
-        0u32..3u32,
-    )
-        .prop_map(|(mut raw, concurrency, min_scale)| {
-            raw.sort_unstable();
-            let mut app =
-                AppRecord::new(AppId(0), WorkloadKind::Application);
-            app.config.concurrency = concurrency;
-            app.config.min_scale = min_scale;
-            app.mem_used_mb = 512;
-            app.invocations = raw
-                .into_iter()
-                .map(|(start_ms, duration_ms)| Invocation {
-                    start_ms,
-                    duration_ms,
-                    delay_ms: 0,
-                })
-                .collect();
-            app
+/// Cases per property (matches the proptest config this replaces).
+const CASES: u64 = 64;
+
+/// Draws an arbitrary small application: up to 60 invocations inside a
+/// 10-minute span, varied concurrency limit and min-scale.
+fn arb_app(rng: &mut Rng) -> AppRecord {
+    let n = rng.index(60);
+    let mut raw: Vec<(u64, u32)> = (0..n)
+        .map(|_| (rng.below(600_000), 1 + rng.below(29_999) as u32))
+        .collect();
+    raw.sort_unstable();
+    let mut app = AppRecord::new(AppId(0), WorkloadKind::Application);
+    app.config.concurrency = 1 + rng.below(3) as u32;
+    app.config.min_scale = rng.below(3) as u32;
+    app.mem_used_mb = 512;
+    app.invocations = raw
+        .into_iter()
+        .map(|(start_ms, duration_ms)| Invocation {
+            start_ms,
+            duration_ms,
+            delay_ms: 0,
         })
+        .collect();
+    app
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn simulator_conservation(app in arb_app(), keepalive in prop::bool::ANY) {
+#[test]
+fn simulator_conservation() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0_5E_ED ^ case);
+        let app = arb_app(&mut rng);
+        let keepalive = rng.chance(0.5);
         let cfg = SimConfig::default();
         let res = if keepalive {
-            simulate_app(&app, &mut KeepAlivePolicy::five_minutes(), 600_000, &cfg)
+            simulate_app(
+                &app,
+                &mut KeepAlivePolicy::five_minutes(),
+                600_000,
+                &cfg,
+            )
         } else {
             simulate_app(&app, &mut ZeroPolicy, 600_000, &cfg)
         };
         // Every invocation served exactly once.
-        prop_assert_eq!(res.costs.invocations, app.invocations.len() as u64);
+        assert_eq!(
+            res.costs.invocations,
+            app.invocations.len() as u64,
+            "case {case}"
+        );
         // Structural consistency.
-        prop_assert!(res.costs.check().is_ok(), "{:?}", res.costs.check());
+        assert!(
+            res.costs.check().is_ok(),
+            "case {case}: {:?}",
+            res.costs.check()
+        );
         // Exec time conserved exactly.
         let expected_exec: f64 = app
             .invocations
             .iter()
             .map(|i| i.duration_ms as f64 / 1_000.0)
             .sum();
-        prop_assert!((res.costs.exec_seconds - expected_exec).abs() < 1e-6);
+        assert!(
+            (res.costs.exec_seconds - expected_exec).abs() < 1e-6,
+            "case {case}"
+        );
         // Cold starts bounded by invocations.
-        prop_assert!(res.costs.cold_starts <= res.costs.invocations);
+        assert!(
+            res.costs.cold_starts <= res.costs.invocations,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn min_scale_never_increases_cold_starts(app in arb_app()) {
+#[test]
+fn min_scale_never_increases_cold_starts() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5CA1E ^ case);
+        let app = arb_app(&mut rng);
         let with = {
             let mut a = app.clone();
             a.config.min_scale = 2;
@@ -76,15 +105,22 @@ proptest! {
             a.config.min_scale = 0;
             simulate_app(&a, &mut ZeroPolicy, 600_000, &SimConfig::default())
         };
-        prop_assert!(with.costs.cold_starts <= without.costs.cold_starts);
+        assert!(
+            with.costs.cold_starts <= without.costs.cold_starts,
+            "case {case}: {} > {}",
+            with.costs.cold_starts,
+            without.costs.cold_starts
+        );
     }
+}
 
-    #[test]
-    fn rum_monotone_in_costs(
-        cs in 0.0f64..1_000.0,
-        waste in 0.0f64..10_000.0,
-        extra in 0.01f64..100.0,
-    ) {
+#[test]
+fn rum_monotone_in_costs() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x40_40 ^ case);
+        let cs = rng.range_f64(0.0, 1_000.0);
+        let waste = rng.range_f64(0.0, 10_000.0);
+        let extra = rng.range_f64(0.01, 100.0);
         let base = femux_rum::CostRecord {
             invocations: 1,
             cold_starts: 1,
@@ -104,56 +140,74 @@ proptest! {
             RumSpec::femux_mem(),
             RumSpec::femux_exec(),
         ] {
-            prop_assert!(rum.evaluate(&worse) > rum.evaluate(&base));
+            assert!(
+                rum.evaluate(&worse) > rum.evaluate(&base),
+                "case {case}: {rum:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn fft_round_trip(values in proptest::collection::vec(-100.0f64..100.0, 1..300)) {
-        let input: Vec<Complex> =
-            values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+#[test]
+fn fft_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xFF7 ^ case);
+        let len = 1 + rng.index(299);
+        let input: Vec<Complex> = (0..len)
+            .map(|_| Complex::new(rng.range_f64(-100.0, 100.0), 0.0))
+            .collect();
         let back = ifft(&fft(&input));
         for (a, b) in input.iter().zip(&back) {
-            prop_assert!((a.re - b.re).abs() < 1e-6);
-            prop_assert!(b.im.abs() < 1e-6);
+            assert!((a.re - b.re).abs() < 1e-6, "case {case}");
+            assert!(b.im.abs() < 1e-6, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn scaler_round_trip(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-1e3f64..1e3, 3),
-            2..40,
-        )
-    ) {
+#[test]
+fn scaler_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5CA_1E4 ^ case);
+        let n_rows = 2 + rng.index(38);
+        let rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| {
+                (0..3).map(|_| rng.range_f64(-1e3, 1e3)).collect()
+            })
+            .collect();
         let scaler = femux_classify::StandardScaler::fit(&rows);
         for row in &rows {
             let mut r = row.clone();
             scaler.transform_row(&mut r);
             scaler.inverse_row(&mut r);
             for (a, b) in r.iter().zip(row) {
-                prop_assert!((a - b).abs() < 1e-6);
+                assert!((a - b).abs() < 1e-6, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn forecasters_always_return_valid_output(
-        values in proptest::collection::vec(0.0f64..50.0, 0..200),
-        horizon in 0usize..5,
-    ) {
+#[test]
+fn forecasters_always_return_valid_output() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xF0_4E ^ case);
+        let len = rng.index(200);
+        let values: Vec<f64> =
+            (0..len).map(|_| rng.range_f64(0.0, 50.0)).collect();
+        let horizon = rng.index(5);
         for kind in femux_forecast::ForecasterKind::ALL {
             let mut f = kind.build();
             let out = f.forecast(&values, horizon);
-            prop_assert_eq!(out.len(), horizon);
+            assert_eq!(out.len(), horizon, "case {case}: {kind}");
             let cap = 10.0
                 * (1.0 + values.iter().fold(0.0f64, |a, &b| a.max(b)));
             for v in out {
-                prop_assert!(v.is_finite() && v >= 0.0, "{} produced {}", kind, v);
-                prop_assert!(
+                assert!(
+                    v.is_finite() && v >= 0.0,
+                    "case {case}: {kind} produced {v}"
+                );
+                assert!(
                     v <= cap + 1e-6,
-                    "{} produced {} above cap {}",
-                    kind, v, cap
+                    "case {case}: {kind} produced {v} above cap {cap}"
                 );
             }
         }
