@@ -1,0 +1,198 @@
+//! `audit:allow` suppression annotations.
+//!
+//! Grammar (inside any comment):
+//!
+//! ```text
+//! audit:allow(<rule-id>, reason = "<why this site is sound>")
+//! ```
+//!
+//! The reason is mandatory — an unexplained suppression is worth
+//! nothing in review. An annotation targets exactly one line:
+//!
+//! - a *trailing* comment targets its own line;
+//! - an *own-line* comment targets the next line that has code.
+//!
+//! Each annotation suppresses **at most one** finding of its rule on
+//! the target line. Two violations on one line need two annotations;
+//! this keeps suppressions auditable one-for-one. Annotations that
+//! suppress nothing are reported as *unused* so stale ones cannot
+//! accumulate silently.
+
+use crate::lexer::{Comment, Tok};
+
+/// One parsed `audit:allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule id being allowed.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line whose findings this annotation may suppress.
+    pub target_line: u32,
+    /// Line the annotation itself is written on.
+    pub comment_line: u32,
+}
+
+/// A malformed annotation (reported, never silently dropped).
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    /// Line of the malformed annotation.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Parses all annotations in `comments`, resolving own-line comments
+/// to the next code line using `toks`.
+pub fn parse_allows(
+    comments: &[Comment],
+    toks: &[Tok],
+) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let Some(pos) = c.text.find("audit:allow") else {
+            continue;
+        };
+        let rest = &c.text[pos + "audit:allow".len()..];
+        // Prose that merely *mentions* the marker — docs, this very
+        // module — is not an annotation: a real one opens a
+        // parenthesis immediately and names a kebab-case rule id;
+        // grammar examples with `<rule-id>` placeholders fall out via
+        // the charset check.
+        if !rest.trim_start().starts_with('(') {
+            continue;
+        }
+        if !rule_id_follows(rest) {
+            continue;
+        }
+        match parse_one(rest) {
+            Ok((rule, reason)) => {
+                let target_line = if c.own_line {
+                    toks.iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line)
+                } else {
+                    c.line
+                };
+                allows.push(Allow {
+                    rule,
+                    reason,
+                    target_line,
+                    comment_line: c.line,
+                });
+            }
+            Err(message) => bad.push(BadAllow {
+                line: c.line,
+                message,
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// True when the text after `audit:allow` opens with a parenthesized
+/// kebab-case rule id (`[a-z0-9-]+` up to `,` or `)`).
+fn rule_id_follows(rest: &str) -> bool {
+    let Some(body) = rest.trim_start().strip_prefix('(') else {
+        return false;
+    };
+    let candidate = body
+        .split([',', ')'])
+        .next()
+        .unwrap_or("")
+        .trim();
+    !candidate.is_empty()
+        && candidate
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+/// Parses `(<rule>, reason = "<text>")` after the marker head. The
+/// reason is delimited by its quotes, so it may freely contain
+/// parentheses and commas.
+fn parse_one(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return Err("expected `(` after the marker".to_string());
+    };
+    let Some((rule, reason_part)) = body.split_once(',') else {
+        return Err(
+            "missing `, reason = \"...\"` — suppressions must be justified"
+                .to_string(),
+        );
+    };
+    let rule = rule.trim().to_string();
+    if rule.is_empty() {
+        return Err("empty rule id".to_string());
+    }
+    let reason_part = reason_part.trim();
+    let Some(value) = reason_part.strip_prefix("reason") else {
+        return Err("expected `reason = \"...\"`".to_string());
+    };
+    let value = value.trim_start();
+    let Some(value) = value.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let value = value.trim_start();
+    let Some(value) = value.strip_prefix('"') else {
+        return Err("reason must be a quoted string".to_string());
+    };
+    let Some(end) = value.find('"') else {
+        return Err("unterminated reason string".to_string());
+    };
+    let reason = &value[..end];
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    if !value[end + 1..].trim_start().starts_with(')') {
+        return Err("expected `)` after the reason".to_string());
+    }
+    Ok((rule, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_annotation_targets_its_own_line() {
+        let src = "let t = now(); // audit:allow(no-wallclock-entropy, reason = \"diagnostics only\")\n";
+        let lexed = lex(src);
+        let (allows, bad) = parse_allows(&lexed.comments, &lexed.toks);
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "no-wallclock-entropy");
+        assert_eq!(allows[0].target_line, 1);
+        assert_eq!(allows[0].reason, "diagnostics only");
+    }
+
+    #[test]
+    fn own_line_annotation_targets_next_code_line() {
+        let src = "\n// audit:allow(panic-path, reason = \"documented API contract\")\n// another comment\nlet x = 1;\n";
+        let lexed = lex(src);
+        let (allows, _) = parse_allows(&lexed.comments, &lexed.toks);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let src = "// audit:allow(panic-path)\nlet x = 1;\n";
+        let lexed = lex(src);
+        let (allows, bad) = parse_allows(&lexed.comments, &lexed.toks);
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("justified"));
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let src = "// audit:allow(panic-path, reason = \"  \")\n";
+        let lexed = lex(src);
+        let (_, bad) = parse_allows(&lexed.comments, &lexed.toks);
+        assert_eq!(bad.len(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! The audit driver: lex → rules → suppression matching → merge.
+//!
+//! Files are scanned in parallel with `femux_par::par_map` — the same
+//! order-preserving substrate the audit guards — so the merged result
+//! is identical at every thread count. Suppression matching is
+//! per-file and strictly one-to-one: an `audit:allow` annotation
+//! suppresses at most one finding of its rule on its target line.
+
+use std::path::Path;
+
+use crate::allow::parse_allows;
+use crate::findings::{
+    CrateClass, FileKind, Finding, MalformedAllow, Suppressed, UnusedAllow,
+};
+use crate::lexer::{lex, test_regions};
+use crate::rules::{all_rules, FileContext, RuleOutput};
+use crate::workspace::{discover, SourceFile};
+
+/// Audit result for one file.
+#[derive(Debug, Default)]
+pub struct FileAudit {
+    /// Unsuppressed findings.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by annotations.
+    pub allowed: Vec<Suppressed>,
+    /// Annotations that suppressed nothing.
+    pub unused_allows: Vec<UnusedAllow>,
+    /// Annotations that failed to parse.
+    pub malformed_allows: Vec<MalformedAllow>,
+}
+
+/// Audit result for a whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceAudit {
+    /// Registered rule ids, in reporting order.
+    pub rules: Vec<&'static str>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Suppressed findings, same order.
+    pub allowed: Vec<Suppressed>,
+    /// Unused annotations.
+    pub unused_allows: Vec<UnusedAllow>,
+    /// Malformed annotations.
+    pub malformed_allows: Vec<MalformedAllow>,
+}
+
+/// Audits one Rust source text.
+pub fn audit_source(
+    rel_path: &str,
+    crate_name: &str,
+    class: CrateClass,
+    kind: FileKind,
+    source: &str,
+) -> FileAudit {
+    let lexed = lex(source);
+    let tests = test_regions(&lexed.toks);
+    let lines: Vec<&str> = source.lines().collect();
+    let cx = FileContext {
+        rel_path,
+        crate_name,
+        class,
+        kind,
+        toks: &lexed.toks,
+        lines: &lines,
+        tests: &tests,
+    };
+    let mut out = RuleOutput::new();
+    for rule in all_rules() {
+        rule.check_source(&cx, &mut out);
+    }
+    let findings = out.into_findings(&lines);
+    let (allows, bad) = parse_allows(&lexed.comments, &lexed.toks);
+    let mut audit = apply_allows(rel_path, findings, allows);
+    audit.malformed_allows = bad
+        .into_iter()
+        .map(|b| MalformedAllow {
+            file: rel_path.to_string(),
+            line: b.line,
+            message: b.message,
+        })
+        .collect();
+    audit
+}
+
+/// Audits one `Cargo.toml` text.
+pub fn audit_manifest(rel_path: &str, text: &str) -> FileAudit {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = RuleOutput::new();
+    for rule in all_rules() {
+        rule.check_manifest(rel_path, text, &mut out);
+    }
+    FileAudit {
+        findings: out.into_findings(&lines),
+        ..FileAudit::default()
+    }
+}
+
+/// Matches findings against annotations. Each annotation suppresses
+/// at most one finding of its rule on its target line.
+fn apply_allows(
+    rel_path: &str,
+    findings: Vec<Finding>,
+    allows: Vec<crate::allow::Allow>,
+) -> FileAudit {
+    let mut audit = FileAudit::default();
+    let mut used = vec![false; allows.len()];
+    for f in findings {
+        let slot = allows.iter().enumerate().position(|(i, a)| {
+            !used[i] && a.rule == f.rule && a.target_line == f.line
+        });
+        match slot {
+            Some(i) => {
+                used[i] = true;
+                audit.allowed.push(Suppressed {
+                    finding: f,
+                    reason: allows[i].reason.clone(),
+                });
+            }
+            None => audit.findings.push(f),
+        }
+    }
+    for (i, a) in allows.iter().enumerate() {
+        if !used[i] {
+            audit.unused_allows.push(UnusedAllow {
+                file: rel_path.to_string(),
+                line: a.comment_line,
+                rule: a.rule.clone(),
+            });
+        }
+    }
+    audit
+}
+
+/// Audits every file under `root` (a workspace root).
+pub fn scan_workspace(root: &Path) -> Result<WorkspaceAudit, String> {
+    let files = discover(root)?;
+    let per_file: Vec<Result<FileAudit, String>> =
+        femux_par::par_map(&files, |_, file| audit_file(file));
+    let mut audit = WorkspaceAudit {
+        rules: all_rules().iter().map(|r| r.id()).collect(),
+        files_scanned: files.len(),
+        ..WorkspaceAudit::default()
+    };
+    for result in per_file {
+        let fa = result?;
+        audit.findings.extend(fa.findings);
+        audit.allowed.extend(fa.allowed);
+        audit.unused_allows.extend(fa.unused_allows);
+        audit.malformed_allows.extend(fa.malformed_allows);
+    }
+    // `discover` returns files sorted by path and each per-file list
+    // is position-sorted, so the merge is already ordered; sort again
+    // defensively so report stability never rests on walk order.
+    audit
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(
+            &b.file, b.line, b.col, b.rule,
+        )));
+    audit.allowed.sort_by(|a, b| {
+        (&a.finding.file, a.finding.line, a.finding.col).cmp(&(
+            &b.finding.file,
+            b.finding.line,
+            b.finding.col,
+        ))
+    });
+    Ok(audit)
+}
+
+fn audit_file(file: &SourceFile) -> Result<FileAudit, String> {
+    let text = std::fs::read_to_string(&file.abs_path)
+        .map_err(|e| format!("read {}: {e}", file.rel_path))?;
+    Ok(if file.is_manifest {
+        audit_manifest(&file.rel_path, &text)
+    } else {
+        audit_source(
+            &file.rel_path,
+            &file.crate_name,
+            file.class,
+            file.kind,
+            &text,
+        )
+    })
+}

@@ -1,0 +1,728 @@
+//! A hand-rolled Rust lexer, just deep enough for auditing.
+//!
+//! The workspace builds fully offline, so we cannot lean on `syn` or
+//! `proc-macro2`; instead this module tokenizes Rust source directly.
+//! The rules only need a faithful *token* stream — they never parse
+//! expressions — but faithful tokenization is non-negotiable: a rule
+//! must not fire on `"Instant"` inside a string literal or on
+//! `.unwrap()` quoted in a doc comment. The lexer therefore handles
+//! every literal form that can hide rule-relevant text:
+//!
+//! - line comments (`//`, `///`, `//!`) and *nested* block comments,
+//!   kept separately so [`crate::allow`] can read annotations;
+//! - string, raw-string (`r#"…"#` with any `#` depth), byte-string and
+//!   byte-raw-string literals;
+//! - char literals vs. lifetimes (`'a'` vs `'a`), including escapes;
+//! - numeric literals with underscores, exponents and type suffixes;
+//! - raw identifiers (`r#type`).
+//!
+//! Everything else becomes single-character [`TokKind::Punct`] tokens —
+//! rules that need `::` or `#[…]` match consecutive puncts.
+//!
+//! The lexer never fails: unterminated literals simply run to the end
+//! of input, which is the most useful behaviour for an auditor that
+//! must keep scanning the rest of the workspace.
+
+/// What a code token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`let`, `as`, `HashMap`, `r#type`).
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Float literal.
+    Float,
+    /// String literal of any form (escaped, raw, byte).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`), without the quote in `text`.
+    Lifetime,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One code token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text. For [`TokKind::Str`] this is the *content* with the
+    /// delimiters stripped (escapes left as written); for raw
+    /// identifiers the `r#` prefix is stripped so rules compare names.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+/// One comment with its source position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without delimiters (`//`, `/* */`).
+    pub text: String,
+    /// 1-based line of the comment start.
+    pub line: u32,
+    /// True when only whitespace precedes the comment on its line, so
+    /// an `audit:allow` in it targets the *next* code line rather than
+    /// its own.
+    pub own_line: bool,
+}
+
+/// Lexer output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens.
+    pub toks: Vec<Tok>,
+    /// Comments (line and block).
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::str::Chars<'a>,
+    /// Lookahead buffer (we need at most 3 chars of lookahead).
+    peeked: Vec<char>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars(),
+            peeked: Vec::new(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self, n: usize) -> Option<char> {
+        while self.peeked.len() <= n {
+            self.peeked.push(self.chars.next()?);
+        }
+        self.peeked.get(n).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = if self.peeked.is_empty() {
+            self.chars.next()?
+        } else {
+            self.peeked.remove(0)
+        };
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Never fails; see module docs for the guarantees.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    // Tracks whether any code token has been seen on the current line,
+    // to classify comments as own-line or trailing.
+    let mut code_on_line: Option<u32> = None;
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        let code_seen_here = code_on_line == Some(line);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                own_line: !code_seen_here,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            let mut text = String::new();
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push_str("/*");
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                own_line: !code_seen_here,
+            });
+            continue;
+        }
+        code_on_line = Some(line);
+        // Raw strings / raw identifiers / byte strings.
+        if c == 'r' || c == 'b' {
+            if let Some(tok) = lex_prefixed(&mut cur, line, col) {
+                out.toks.push(tok);
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.toks.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            let text = lex_escaped_until(&mut cur, '"');
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            out.toks.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        cur.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Lexes tokens that start with `r` or `b`: raw strings, raw idents,
+/// byte strings, byte chars. Returns `None` when the prefix turns out
+/// to start a plain identifier (caller lexes it).
+fn lex_prefixed(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    let first = cur.peek(0)?;
+    match (first, cur.peek(1), cur.peek(2)) {
+        // r"..." or r#"..."# (any hash depth) — raw string.
+        ('r', Some('"'), _) | ('r', Some('#'), _) => {
+            // r#ident is a raw identifier, not a raw string: the char
+            // after the hashes must be a quote for a string.
+            let mut hashes = 0usize;
+            while cur.peek(1 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(1 + hashes) != Some('"') {
+                if hashes == 1 && cur.peek(2).is_some_and(is_ident_start) {
+                    cur.bump(); // r
+                    cur.bump(); // #
+                    let mut text = String::new();
+                    while let Some(ch) = cur.peek(0) {
+                        if !is_ident_continue(ch) {
+                            break;
+                        }
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    return Some(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                return None;
+            }
+            cur.bump(); // r
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            cur.bump(); // opening quote
+            let text = lex_raw_until(cur, hashes);
+            Some(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            })
+        }
+        // b"..."  byte string.
+        ('b', Some('"'), _) => {
+            cur.bump();
+            cur.bump();
+            let text = lex_escaped_until(cur, '"');
+            Some(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            })
+        }
+        // br"..." / br#"..."# byte raw string.
+        ('b', Some('r'), Some('"')) | ('b', Some('r'), Some('#')) => {
+            cur.bump(); // b
+            let mut hashes = 0usize;
+            while cur.peek(1 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(1 + hashes) != Some('"') {
+                return None;
+            }
+            cur.bump(); // r
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            cur.bump(); // opening quote
+            let text = lex_raw_until(cur, hashes);
+            Some(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            })
+        }
+        // b'x' byte char.
+        ('b', Some('\''), _) => {
+            cur.bump();
+            Some(lex_quote(cur, line, col))
+        }
+        _ => None,
+    }
+}
+
+/// Consumes an escaped literal up to an unescaped `delim`; the opening
+/// delimiter is already consumed. Returns the content.
+fn lex_escaped_until(cur: &mut Cursor, delim: char) -> String {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.peek(0) {
+                text.push(esc);
+                cur.bump();
+            }
+            continue;
+        }
+        cur.bump();
+        if ch == delim {
+            break;
+        }
+        text.push(ch);
+    }
+    text
+}
+
+/// Consumes a raw-string body up to `"` followed by `hashes` hashes.
+fn lex_raw_until(cur: &mut Cursor, hashes: usize) -> String {
+    let mut text = String::new();
+    'outer: while let Some(ch) = cur.peek(0) {
+        if ch == '"' {
+            let mut ok = true;
+            for i in 0..hashes {
+                if cur.peek(1 + i) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..=hashes {
+                    cur.bump();
+                }
+                break 'outer;
+            }
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    text
+}
+
+/// Lexes `'…` as either a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    cur.bump(); // opening quote
+    // '\...' is always a char literal.
+    if cur.peek(0) == Some('\\') {
+        let text = lex_escaped_until(cur, '\'');
+        return Tok {
+            kind: TokKind::Char,
+            text,
+            line,
+            col,
+        };
+    }
+    // 'x' (quote two ahead) is a char literal; otherwise a lifetime.
+    if cur.peek(1) == Some('\'') {
+        let text = lex_escaped_until(cur, '\'');
+        return Tok {
+            kind: TokKind::Char,
+            text,
+            line,
+            col,
+        };
+    }
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Lifetime,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    let mut kind = TokKind::Int;
+    // Integer part (also covers 0x/0b/0o digits and suffixes).
+    while let Some(ch) = cur.peek(0) {
+        if ch.is_alphanumeric() || ch == '_' {
+            if ch == 'e' || ch == 'E' {
+                // Exponent only applies once a '.' or decimal context
+                // is seen; hex digits also include 'e'. Treat as part
+                // of the literal either way.
+            }
+            text.push(ch);
+            cur.bump();
+            continue;
+        }
+        break;
+    }
+    // Fractional part: '.' followed by a digit (not `..` or a method).
+    if cur.peek(0) == Some('.')
+        && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+    {
+        kind = TokKind::Float;
+        text.push('.');
+        cur.bump();
+        while let Some(ch) = cur.peek(0) {
+            if ch.is_alphanumeric() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+                // Exponent sign.
+                if (ch == 'e' || ch == 'E')
+                    && matches!(cur.peek(0), Some('+') | Some('-'))
+                {
+                    text.push(cur.bump().expect("peeked"));
+                }
+                continue;
+            }
+            break;
+        }
+    } else if cur.peek(0) == Some('.')
+        && cur.peek(1).is_none_or(|c| !is_ident_start(c) && c != '.')
+    {
+        // `1.` style float (rare; e.g. `2.`).
+        kind = TokKind::Float;
+        text.push('.');
+        cur.bump();
+    }
+    Tok {
+        kind,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Line ranges belonging to `#[cfg(test)]` / `#[test]` items.
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    /// Inclusive (start, end) line ranges.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl TestRegions {
+    /// True when `line` falls inside any test item.
+    pub fn contains(&self, line: u32) -> bool {
+        self.ranges.iter().any(|&(s, e)| line >= s && line <= e)
+    }
+}
+
+/// Finds the line ranges of items annotated `#[cfg(test)]` or
+/// `#[test]` (a `not(test)` guard does not count). The item body is
+/// delimited by its matching braces, or by `;` for brace-less items.
+pub fn test_regions(toks: &[Tok]) -> TestRegions {
+    let mut regions = TestRegions::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = toks.get(i + 1) else { break };
+        if !(open.kind == TokKind::Punct && open.text == "[") {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's bracket group.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            } else if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "test" => has_test = true,
+                    "not" => has_not = true,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j + 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Skip any further attributes, then find the item body: the
+        // first `{` (brace-matched) or a `;` before it.
+        let mut k = j + 1;
+        while k + 1 < toks.len()
+            && toks[k].kind == TokKind::Punct
+            && toks[k].text == "#"
+            && toks[k + 1].text == "["
+        {
+            let mut d = 0i32;
+            while k < toks.len() {
+                if toks[k].kind == TokKind::Punct {
+                    match toks[k].text.as_str() {
+                        "[" => d += 1,
+                        "]" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut end_line = start_line;
+        let mut braces = 0i32;
+        let mut entered = false;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => {
+                        braces += 1;
+                        entered = true;
+                    }
+                    "}" => {
+                        braces -= 1;
+                        if entered && braces == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    }
+                    ";" if !entered => {
+                        end_line = t.line;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        regions.ranges.push((start_line, end_line));
+        i = k + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_content() {
+        let src = r##"
+            // Instant::now() in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "Instant::now()";
+            let r = r#"HashMap"#;
+            let b = b"unwrap()";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = lex("let c = 'x'; fn f<'a>(v: &'a str) {} let n = '\\n';");
+        let kinds: Vec<(TokKind, String)> = toks
+            .toks
+            .iter()
+            .filter(|t| {
+                matches!(t.kind, TokKind::Char | TokKind::Lifetime)
+            })
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TokKind::Char, "x".to_string()),
+                (TokKind::Lifetime, "a".to_string()),
+                (TokKind::Lifetime, "a".to_string()),
+                (TokKind::Char, "\\n".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_including_floats_and_methods() {
+        let toks = lex("1.max(2) + 1.5e-3 + 0xFF_u32 + x.0");
+        let nums: Vec<(TokKind, String)> = toks
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(nums[0], (TokKind::Int, "1".to_string()));
+        assert_eq!(nums[1], (TokKind::Int, "2".to_string()));
+        assert_eq!(nums[2], (TokKind::Float, "1.5e-3".to_string()));
+        assert_eq!(nums[3], (TokKind::Int, "0xFF_u32".to_string()));
+        assert_eq!(nums[4], (TokKind::Int, "0".to_string()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  bb").toks;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn inner() { let x = 1; }\n\
+                   }\n\
+                   fn after() {}\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.toks);
+        assert!(!regions.contains(1));
+        assert!(regions.contains(2));
+        assert!(regions.contains(4));
+        assert!(regions.contains(5));
+        assert!(!regions.contains(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod live { fn f() {} }\n";
+        let lexed = lex(src);
+        assert!(!test_regions(&lexed.toks).contains(2));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn f() {}\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.toks);
+        assert!(regions.contains(2));
+        assert!(!regions.contains(3));
+    }
+
+    #[test]
+    fn trailing_vs_own_line_comments() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;\n";
+        let comments = lex(src).comments;
+        assert!(!comments[0].own_line);
+        assert!(comments[1].own_line);
+    }
+}

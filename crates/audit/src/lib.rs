@@ -1,0 +1,43 @@
+//! `femux-audit` — in-tree determinism & correctness static analysis.
+//!
+//! PR 1 gave the offline pipeline a hard guarantee: byte-identical
+//! output at any thread count. This crate turns that guarantee (and
+//! the workspace's offline-build and no-panic hygiene) from reviewer
+//! vigilance into a machine-checked gate. It is a dependency-free
+//! static-analysis pass — a hand-rolled Rust [`lexer`] feeding a
+//! [`rules`] engine with stable finding ids, per-site
+//! `// audit:allow(<rule>, reason = "…")` suppressions ([`allow`]),
+//! and human/JSON reporters ([`report`]).
+//!
+//! Shipped rules:
+//!
+//! | id | invariant |
+//! |---|---|
+//! | `no-wallclock-entropy` | deterministic crates never read clock/entropy |
+//! | `no-unordered-emit` | hash-ordered collections never reach output |
+//! | `sequential-fp-reduce` | `par_map` closures stay pure; combining is sequential |
+//! | `panic-path` | library code has no undocumented panic paths |
+//! | `lossy-cast` | no truncating casts in rum/sim accumulation |
+//! | `offline-deps` | every dependency is a path/workspace dependency |
+//! | `no-env-read` | deterministic crates never read the environment |
+//!
+//! The pass runs three ways: the `femux-audit` binary, the tier-1
+//! integration test `tests/audit_clean.rs` (zero unannotated findings
+//! over the workspace), and the CI `audit` job (which also diffs the
+//! JSON report against `crates/audit/workspace-baseline.json` so
+//! annotation drift is an explicit review event).
+
+pub mod allow;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use engine::{
+    audit_manifest, audit_source, scan_workspace, FileAudit, WorkspaceAudit,
+};
+pub use findings::{finding_id, CrateClass, FileKind, Finding};
+pub use report::{render_json, render_text};
+pub use workspace::{find_workspace_root, DETERMINISTIC_CRATES};

@@ -1,0 +1,148 @@
+//! Report rendering: human-readable text and byte-stable JSON.
+//!
+//! The JSON writer is hand-rolled (the workspace is offline; no
+//! serde) and deliberately boring: objects with a fixed key order,
+//! inputs pre-sorted by the engine, no timestamps, no absolute paths.
+//! Two runs over the same tree — at any `FEMUX_THREADS` — must
+//! produce byte-identical output, because CI diffs it against a
+//! committed baseline to detect finding drift.
+
+use crate::engine::WorkspaceAudit;
+use crate::findings::Finding;
+
+/// Escapes a string for JSON.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\
+         \"col\":{},\"message\":\"{}\"}}",
+        esc(&f.id),
+        esc(f.rule),
+        esc(&f.file),
+        f.line,
+        f.col,
+        esc(&f.message)
+    )
+}
+
+/// Renders the audit as deterministic JSON.
+pub fn render_json(audit: &WorkspaceAudit) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"femux_audit\": 1,\n  \"rules\": [");
+    for (i, r) in audit.rules.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", esc(r)));
+    }
+    out.push_str("],\n  \"findings\": [");
+    for (i, f) in audit.findings.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&finding_json(f));
+    }
+    if !audit.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"allowed\": [");
+    for (i, s) in audit.allowed.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\
+             \"reason\":\"{}\"}}",
+            esc(&s.finding.id),
+            esc(s.finding.rule),
+            esc(&s.finding.file),
+            s.finding.line,
+            esc(&s.reason)
+        ));
+    }
+    if !audit.allowed.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"unused_allows\": [");
+    for (i, u) in audit.unused_allows.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\"}}",
+            esc(&u.file),
+            u.line,
+            esc(&u.rule)
+        ));
+    }
+    if !audit.unused_allows.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"malformed_allows\": [");
+    for (i, m) in audit.malformed_allows.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            esc(&m.file),
+            m.line,
+            esc(&m.message)
+        ));
+    }
+    if !audit.malformed_allows.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"summary\": {{\"files_scanned\": {}, \"findings\": {}, \
+         \"allowed\": {}, \"unused_allows\": {}, \"malformed_allows\": {}}}\n}}\n",
+        audit.files_scanned,
+        audit.findings.len(),
+        audit.allowed.len(),
+        audit.unused_allows.len(),
+        audit.malformed_allows.len()
+    ));
+    out
+}
+
+/// Renders the audit for humans: `file:line:col: [rule] message`.
+pub fn render_text(audit: &WorkspaceAudit) -> String {
+    let mut out = String::new();
+    for f in &audit.findings {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {} (id {})\n",
+            f.file, f.line, f.col, f.rule, f.message, f.id
+        ));
+    }
+    for u in &audit.unused_allows {
+        out.push_str(&format!(
+            "{}:{}: warning: unused audit:allow({}) — remove it\n",
+            u.file, u.line, u.rule
+        ));
+    }
+    for m in &audit.malformed_allows {
+        out.push_str(&format!(
+            "{}:{}: warning: malformed audit:allow — {}\n",
+            m.file, m.line, m.message
+        ));
+    }
+    out.push_str(&format!(
+        "audit: {} file(s) scanned, {} finding(s), {} allowed, \
+         {} unused allow(s), {} malformed allow(s)\n",
+        audit.files_scanned,
+        audit.findings.len(),
+        audit.allowed.len(),
+        audit.unused_allows.len(),
+        audit.malformed_allows.len()
+    ));
+    out
+}

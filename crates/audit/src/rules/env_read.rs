@@ -1,0 +1,70 @@
+//! `no-env-read`: deterministic crates must not branch on the
+//! process environment.
+//!
+//! `FEMUX_THREADS` is read in exactly one place — `femux-par`, whose
+//! whole contract is that the value only changes *speed*. Any other
+//! environment read inside the deterministic crates would let two
+//! machines produce different pipelines from the same inputs, which
+//! is how "works in CI, differs in prod" reproductions are born. The
+//! rule flags `env::var`, `env::var_os`, `env::vars` and
+//! `env::vars_os` in non-test code of deterministic crates.
+//! (`std::env::args` is CLI input, not ambient state, and stays
+//! allowed; compile-time `env!` is burned into the binary and is
+//! deterministic per build.)
+
+use super::{is_punct, FileContext, Rule, RuleOutput};
+use crate::findings::{CrateClass, FileKind};
+use crate::lexer::TokKind;
+
+const ENV_READS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+/// See module docs.
+pub struct NoEnvRead;
+
+impl Rule for NoEnvRead {
+    fn id(&self) -> &'static str {
+        "no-env-read"
+    }
+
+    fn describe(&self) -> &'static str {
+        "deterministic crates must not read environment variables"
+    }
+
+    fn check_source(&self, cx: &FileContext, out: &mut RuleOutput) {
+        if cx.class != CrateClass::Deterministic
+            || !matches!(cx.kind, FileKind::Lib | FileKind::Bin)
+        {
+            return;
+        }
+        let toks = cx.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || t.text != "env"
+                || cx.is_test_line(t.line)
+            {
+                continue;
+            }
+            if is_punct(toks, i + 1, ':')
+                && is_punct(toks, i + 2, ':')
+                && toks.get(i + 3).is_some_and(|m| {
+                    m.kind == TokKind::Ident
+                        && ENV_READS.contains(&m.text.as_str())
+                })
+            {
+                let m = &toks[i + 3];
+                out.push(
+                    self.id(),
+                    cx.rel_path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`env::{}` in deterministic crate `{}`: ambient \
+                         environment must not influence pipeline output",
+                        m.text, cx.crate_name
+                    ),
+                );
+            }
+        }
+    }
+}

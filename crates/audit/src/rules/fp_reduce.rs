@@ -1,0 +1,90 @@
+//! `sequential-fp-reduce`: parallel map closures must be pure.
+//!
+//! `femux_par::par_map`/`par_map_chunked`/`par_map_threads` guarantee
+//! byte-identical output at any thread count *because* the closure is
+//! a pure function of `(index, item)` and all combining happens on the
+//! returned, index-ordered `Vec` — sequentially, on the caller's
+//! thread. The one way to break that without touching `femux-par` is
+//! to smuggle shared mutable state into the closure and accumulate in
+//! completion order: a `Mutex<f64>` running sum, an atomic counter
+//! that feeds output, a `RefCell` scratch buffer. Float addition is
+//! not associative, so even a "harmless" shared sum changes results
+//! with scheduling.
+//!
+//! The rule scans the argument list of every `par_map*` call and flags
+//! shared-state and interior-mutability tokens inside it: `Mutex`,
+//! `RwLock`, `RefCell`, `Cell`, `Atomic*`, `static`, `unsafe`, and
+//! `.lock()` / `.borrow_mut()` calls. Combine results after the call
+//! returns instead — iteration over the returned `Vec` is already
+//! sequential and index-ordered.
+
+use super::{is_punct, match_paren, FileContext, Rule, RuleOutput};
+use crate::findings::FileKind;
+use crate::lexer::TokKind;
+
+const PAR_CALLS: &[&str] = &["par_map", "par_map_chunked", "par_map_threads"];
+
+const SHARED_STATE: &[&str] =
+    &["Mutex", "RwLock", "RefCell", "Cell", "static", "unsafe"];
+
+const SHARED_METHODS: &[&str] = &["lock", "borrow_mut"];
+
+/// See module docs.
+pub struct SequentialFpReduce;
+
+impl Rule for SequentialFpReduce {
+    fn id(&self) -> &'static str {
+        "sequential-fp-reduce"
+    }
+
+    fn describe(&self) -> &'static str {
+        "par_map closures must not accumulate through shared mutable \
+         state; combine results sequentially from the returned Vec"
+    }
+
+    fn check_source(&self, cx: &FileContext, out: &mut RuleOutput) {
+        if cx.kind == FileKind::Test {
+            return;
+        }
+        let toks = cx.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !PAR_CALLS.contains(&t.text.as_str())
+                || !is_punct(toks, i + 1, '(')
+                || cx.is_test_line(t.line)
+            {
+                continue;
+            }
+            let Some(close) = match_paren(toks, i + 1) else {
+                continue;
+            };
+            for j in (i + 2)..close {
+                let u = &toks[j];
+                if u.kind != TokKind::Ident || cx.is_test_line(u.line) {
+                    continue;
+                }
+                let shared = SHARED_STATE.contains(&u.text.as_str())
+                    || u.text.starts_with("Atomic");
+                let method = SHARED_METHODS.contains(&u.text.as_str())
+                    && is_punct(toks, j.wrapping_sub(1), '.')
+                    && is_punct(toks, j + 1, '(');
+                if shared || method {
+                    out.push(
+                        self.id(),
+                        cx.rel_path,
+                        u.line,
+                        u.col,
+                        format!(
+                            "`{}` inside a `{}` argument list: shared \
+                             mutable state makes float accumulation \
+                             depend on scheduling order — combine results \
+                             sequentially from the returned Vec",
+                            u.text, t.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! `lossy-cast`: truncating `as` casts in the accumulation crates.
+//!
+//! `rum` and `sim` accumulate cost and capacity numbers (GB-seconds,
+//! cold-start seconds, pod counts) across millions of invocations; a
+//! narrowing `as` cast in those paths truncates silently — `as u32`
+//! wraps integers above 2³², `as f32` rounds away precision that the
+//! RUM comparisons in the paper's figures are sensitive to. The rule
+//! flags `as` casts to any type that can silently lose value range or
+//! precision from the workspace's working types (`f64`, `u64`,
+//! `usize`): `u8`, `u16`, `u32`, `i8`, `i16`, `i32`, `f32`. Use the
+//! full-width type, a checked `try_into()`, or annotate the site with
+//! the range invariant that makes the cast exact.
+//!
+//! Widening casts and float→int casts through an explicit
+//! `.ceil()`/`.floor()`/`.round()` remain allowed — the rounding call
+//! documents the intent, and Rust float→int `as` casts saturate
+//! rather than wrap.
+
+use super::{FileContext, Rule, RuleOutput};
+use crate::findings::FileKind;
+use crate::lexer::TokKind;
+
+/// Crates whose accumulation paths this rule guards.
+const SCOPED_CRATES: &[&str] = &["rum", "sim"];
+
+const NARROW_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// See module docs.
+pub struct LossyCast;
+
+impl Rule for LossyCast {
+    fn id(&self) -> &'static str {
+        "lossy-cast"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no truncating `as` casts in rum/sim accumulation paths"
+    }
+
+    fn check_source(&self, cx: &FileContext, out: &mut RuleOutput) {
+        if !SCOPED_CRATES.contains(&cx.crate_name)
+            || cx.kind != FileKind::Lib
+        {
+            return;
+        }
+        let toks = cx.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || t.text != "as"
+                || cx.is_test_line(t.line)
+            {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1) else { continue };
+            if target.kind == TokKind::Ident
+                && NARROW_TARGETS.contains(&target.text.as_str())
+            {
+                out.push(
+                    self.id(),
+                    cx.rel_path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`as {}` can truncate in an accumulation path: \
+                         keep the full-width type, use try_into(), or \
+                         annotate the range invariant",
+                        target.text
+                    ),
+                );
+            }
+        }
+    }
+}

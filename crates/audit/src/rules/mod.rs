@@ -1,0 +1,182 @@
+//! The rule engine.
+//!
+//! Each rule is a pure function over a [`FileContext`] (lexed source +
+//! crate/file classification) or a manifest text. Rules never see the
+//! suppression layer: they emit every violation and [`crate::engine`]
+//! matches findings against `audit:allow` annotations afterwards, so
+//! the "one annotation suppresses one finding" semantics live in one
+//! place.
+//!
+//! Adding a rule: create a module here, implement [`Rule`], register
+//! it in [`all_rules`], add a fixture under `tests/fixtures/` pinning
+//! its ids, and describe it in `DESIGN.md`.
+
+pub mod env_read;
+pub mod fp_reduce;
+pub mod lossy_cast;
+pub mod offline_deps;
+pub mod panic_path;
+pub mod unordered;
+pub mod wallclock;
+
+use crate::findings::{finding_id, CrateClass, FileKind, Finding};
+use crate::lexer::{Tok, TokKind, TestRegions};
+
+/// Everything a source rule may look at for one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: &'a str,
+    /// Crate directory name (`"sim"`, `"core"`, ... or `""` for the
+    /// root facade).
+    pub crate_name: &'a str,
+    /// Crate classification.
+    pub class: CrateClass,
+    /// Target kind.
+    pub kind: FileKind,
+    /// Code tokens.
+    pub toks: &'a [Tok],
+    /// Source lines (for finding ids).
+    pub lines: &'a [&'a str],
+    /// `#[cfg(test)]` line ranges.
+    pub tests: &'a TestRegions,
+}
+
+impl FileContext<'_> {
+    /// True when `line` is inside a test item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.tests.contains(line)
+    }
+
+    /// Trimmed text of a 1-based line (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or("")
+    }
+}
+
+/// One audit rule.
+pub trait Rule: Sync {
+    /// Stable rule id (kebab-case, used in annotations and finding
+    /// ids).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Checks one Rust source file.
+    fn check_source(&self, _cx: &FileContext, _out: &mut RuleOutput) {}
+    /// Checks one `Cargo.toml`.
+    fn check_manifest(
+        &self,
+        _rel_path: &str,
+        _text: &str,
+        _out: &mut RuleOutput,
+    ) {
+    }
+}
+
+/// Accumulates findings for one file, assigning stable ids.
+pub struct RuleOutput {
+    findings: Vec<Finding>,
+}
+
+impl RuleOutput {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RuleOutput {
+            findings: Vec::new(),
+        }
+    }
+
+    /// Records a finding; the id is assigned at the end of the file
+    /// pass (occurrence ordinals need the full list).
+    pub fn push(
+        &mut self,
+        rule: &'static str,
+        file: &str,
+        line: u32,
+        col: u32,
+        message: String,
+    ) {
+        self.findings.push(Finding {
+            id: String::new(),
+            rule,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+        });
+    }
+
+    /// Finalizes ids and returns the findings sorted by position.
+    pub fn into_findings(mut self, lines: &[&str]) -> Vec<Finding> {
+        self.findings
+            .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+        let mut seen: Vec<(String, u32)> = Vec::new();
+        for f in &mut self.findings {
+            let text = lines
+                .get(f.line as usize - 1)
+                .copied()
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            let key = format!("{}\u{0}{}\u{0}{}", f.rule, f.file, text);
+            let occurrence = seen.iter().filter(|(k, _)| *k == key).count();
+            seen.push((key.clone(), f.line));
+            f.id = finding_id(f.rule, &f.file, &text, occurrence);
+        }
+        self.findings
+    }
+}
+
+impl Default for RuleOutput {
+    fn default() -> Self {
+        RuleOutput::new()
+    }
+}
+
+/// The registered rule set, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(wallclock::NoWallclockEntropy),
+        Box::new(unordered::NoUnorderedEmit),
+        Box::new(fp_reduce::SequentialFpReduce),
+        Box::new(panic_path::PanicPath),
+        Box::new(lossy_cast::LossyCast),
+        Box::new(offline_deps::OfflineDeps),
+        Box::new(env_read::NoEnvRead),
+    ]
+}
+
+/// True when `toks[i]` is an identifier with the given text.
+pub(crate) fn is_ident(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+/// True when `toks[i]` is the given punctuation character.
+pub(crate) fn is_punct(toks: &[Tok], i: usize, ch: char) -> bool {
+    toks.get(i).is_some_and(|t| {
+        t.kind == TokKind::Punct && t.text.len() == 1 && t.text.starts_with(ch)
+    })
+}
+
+/// Given `toks[open]` == `(`, returns the index of the matching `)`.
+pub(crate) fn match_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}

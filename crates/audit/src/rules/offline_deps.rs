@@ -1,0 +1,126 @@
+//! `offline-deps`: every dependency must resolve inside the tree.
+//!
+//! PR 1 made the workspace fully self-contained — registry and git
+//! dependencies cannot be fetched in the build environment, so a
+//! version-only or git dependency is a build break waiting for a cold
+//! cache. The rule parses every `Cargo.toml` (a minimal line-oriented
+//! TOML walk; the manifests here are plain) and requires each entry in
+//! a `*dependencies*` section to be a `path` dependency or
+//! `workspace = true` (which resolves against the root
+//! `[workspace.dependencies]`, itself audited the same way).
+
+use super::{Rule, RuleOutput};
+
+/// See module docs.
+pub struct OfflineDeps;
+
+impl Rule for OfflineDeps {
+    fn id(&self) -> &'static str {
+        "offline-deps"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every Cargo.toml dependency must be a path or workspace \
+         dependency (offline build)"
+    }
+
+    fn check_manifest(
+        &self,
+        rel_path: &str,
+        text: &str,
+        out: &mut RuleOutput,
+    ) {
+        let mut section = String::new();
+        // For `[dependencies.<name>]`-style tables: the header line
+        // and whether a path/workspace key has been seen.
+        let mut open_table: Option<(u32, String, bool)> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                flush_table(self.id(), rel_path, &mut open_table, out);
+                section = line
+                    .trim_start_matches('[')
+                    .trim_end_matches(']')
+                    .to_string();
+                if let Some((head, name)) = section.rsplit_once('.') {
+                    if head.ends_with("dependencies") {
+                        open_table =
+                            Some((lineno, name.to_string(), false));
+                    }
+                }
+                continue;
+            }
+            if let Some((_, _, ok)) = open_table.as_mut() {
+                let key = line.split('=').next().unwrap_or("").trim();
+                if key == "path" || key == "workspace" {
+                    *ok = true;
+                }
+                if key == "git" || key == "registry" {
+                    *ok = false;
+                }
+                continue;
+            }
+            if !section.ends_with("dependencies") {
+                continue;
+            }
+            let Some((name, value)) = line.split_once('=') else {
+                continue;
+            };
+            let (name, value) = (name.trim(), value.trim());
+            // Dotted-key form: `femux-stats.workspace = true`,
+            // `foo.path = "…"` are offline; `foo.version = "1"` is not.
+            if let Some((_, key)) = name.rsplit_once('.') {
+                if key == "workspace" || key == "path" {
+                    continue;
+                }
+            }
+            let offline = if value.starts_with('{') {
+                (value.contains("path") || value.contains("workspace"))
+                    && !value.contains("git")
+            } else {
+                // `name = "1.0"` — a bare registry version.
+                false
+            };
+            if !offline {
+                out.push(
+                    self.id(),
+                    rel_path,
+                    lineno,
+                    1,
+                    format!(
+                        "dependency `{name}` in [{section}] is not a \
+                         path/workspace dependency: the build must stay \
+                         offline-resolvable"
+                    ),
+                );
+            }
+        }
+        flush_table(self.id(), rel_path, &mut open_table, out);
+    }
+}
+
+fn flush_table(
+    rule: &'static str,
+    rel_path: &str,
+    open_table: &mut Option<(u32, String, bool)>,
+    out: &mut RuleOutput,
+) {
+    if let Some((line, name, ok)) = open_table.take() {
+        if !ok {
+            out.push(
+                rule,
+                rel_path,
+                line,
+                1,
+                format!(
+                    "dependency table `{name}` has no path/workspace \
+                     key: the build must stay offline-resolvable"
+                ),
+            );
+        }
+    }
+}

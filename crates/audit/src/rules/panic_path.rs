@@ -1,0 +1,82 @@
+//! `panic-path`: library code must not take undocumented panic paths.
+//!
+//! A serverless control loop that dies on an edge case is worse than
+//! one that returns an error: the paper's platform restarts pods, but
+//! our offline pipeline just loses hours of labelling. In library
+//! (non-test) code the rule flags:
+//!
+//! - bare `.unwrap()` — replace with `?`, a default, or
+//!   `.expect("invariant: …")` naming *why* the value must exist;
+//! - `panic!`, `unreachable!`, `todo!`, `unimplemented!` — allowed
+//!   only with an `audit:allow` naming the documented contract.
+//!
+//! `.expect("…")` with a message is deliberately *not* flagged: it is
+//! the sanctioned self-annotating form — the message is the invariant.
+//! `assert!`-family macros are also exempt: they are explicit, named
+//! invariant checks. Binaries, benches, examples and shims are exempt
+//! (CLI input validation may panic; shims mimic external crates).
+
+use super::{is_punct, FileContext, Rule, RuleOutput};
+use crate::findings::{CrateClass, FileKind};
+use crate::lexer::TokKind;
+
+const PANIC_MACROS: &[&str] =
+    &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See module docs.
+pub struct PanicPath;
+
+impl Rule for PanicPath {
+    fn id(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn describe(&self) -> &'static str {
+        "library code must not use bare unwrap() or panic-family \
+         macros outside tests without an annotation"
+    }
+
+    fn check_source(&self, cx: &FileContext, out: &mut RuleOutput) {
+        if cx.kind != FileKind::Lib || cx.class == CrateClass::Shim {
+            return;
+        }
+        let toks = cx.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || cx.is_test_line(t.line) {
+                continue;
+            }
+            if t.text == "unwrap"
+                && is_punct(toks, i.wrapping_sub(1), '.')
+                && is_punct(toks, i + 1, '(')
+                && is_punct(toks, i + 2, ')')
+            {
+                out.push(
+                    self.id(),
+                    cx.rel_path,
+                    t.line,
+                    t.col,
+                    "bare `.unwrap()` in library code: propagate the \
+                     error or use `.expect(\"invariant: …\")` naming why \
+                     the value must exist"
+                        .to_string(),
+                );
+            }
+            if PANIC_MACROS.contains(&t.text.as_str())
+                && is_punct(toks, i + 1, '!')
+            {
+                out.push(
+                    self.id(),
+                    cx.rel_path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}!` in library code: return an error, or \
+                         annotate the documented panic contract",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! `no-unordered-emit`: hash-ordered collections must not reach
+//! deterministic output.
+//!
+//! `HashMap`/`HashSet` iteration order depends on `RandomState` and on
+//! insertion history, so any iteration that feeds an output file, a
+//! report, or a floating-point accumulation is a reproducibility bug
+//! waiting for a rehash. The rule has two tiers:
+//!
+//! 1. In **deterministic** crates, *any* use of `HashMap`/`HashSet` in
+//!    non-test code is flagged — switch to `BTreeMap`/`BTreeSet` (same
+//!    API surface here, ordered iteration) or annotate why hashing is
+//!    required and iteration order provably never escapes.
+//! 2. In **runtime** crates, declaring one is fine but *iterating* one
+//!    is flagged: the rule tracks identifiers bound to a
+//!    `HashMap`/`HashSet` (let-bindings and struct fields in the same
+//!    file) and fires on `.iter()`, `.keys()`, `.values()`,
+//!    `.drain()`, `.into_iter()`, `.into_keys()`, `.into_values()`,
+//!    `.retain()` and `for … in [&[mut]] <name>` over them.
+//!
+//! This is a file-local, lexical approximation of a type analysis —
+//! deliberately so: it catches the patterns that actually occur, and
+//! the deterministic-crate tier is airtight where it matters most.
+
+use super::{is_ident, is_punct, FileContext, Rule, RuleOutput};
+use crate::findings::{CrateClass, FileKind};
+use crate::lexer::TokKind;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// See module docs.
+pub struct NoUnorderedEmit;
+
+impl Rule for NoUnorderedEmit {
+    fn id(&self) -> &'static str {
+        "no-unordered-emit"
+    }
+
+    fn describe(&self) -> &'static str {
+        "hash-ordered collections must not be used in deterministic \
+         crates nor iterated in runtime library code"
+    }
+
+    fn check_source(&self, cx: &FileContext, out: &mut RuleOutput) {
+        if cx.class == CrateClass::Shim
+            || !matches!(cx.kind, FileKind::Lib | FileKind::Bin)
+        {
+            return;
+        }
+        let toks = cx.toks;
+        let mut bound: Vec<String> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident
+                || (t.text != "HashMap" && t.text != "HashSet")
+            {
+                continue;
+            }
+            if cx.class == CrateClass::Deterministic
+                && !cx.is_test_line(t.line)
+            {
+                out.push(
+                    self.id(),
+                    cx.rel_path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` in deterministic crate `{}`: iteration order \
+                         is nondeterministic — use BTreeMap/BTreeSet, or \
+                         annotate why order can never reach output",
+                        t.text, cx.crate_name
+                    ),
+                );
+            }
+            // Track what this map/set is bound to, for the iteration
+            // tier. Walk back to the start of the statement looking
+            // for `let [mut] <name>` or a struct-field `<name>:`.
+            if let Some(name) = bound_name(toks, i) {
+                if !bound.contains(&name) {
+                    bound.push(name);
+                }
+            }
+        }
+        if cx.class == CrateClass::Deterministic || bound.is_empty() {
+            return;
+        }
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || cx.is_test_line(t.line) {
+                continue;
+            }
+            // `<name>.method(` where method is an iteration method.
+            if bound.contains(&t.text)
+                && is_punct(toks, i + 1, '.')
+                && toks.get(i + 2).is_some_and(|m| {
+                    m.kind == TokKind::Ident
+                        && ITER_METHODS.contains(&m.text.as_str())
+                })
+                && is_punct(toks, i + 3, '(')
+            {
+                let m = &toks[i + 2];
+                out.push(
+                    self.id(),
+                    cx.rel_path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "iterating hash-ordered `{}` via `.{}()`: order is \
+                         nondeterministic — sort first, switch to a BTree \
+                         collection, or annotate why order is immaterial",
+                        t.text, m.text
+                    ),
+                );
+            }
+            // `for <pat> in [&[mut]] <name> {`.
+            if t.text == "in" {
+                let mut j = i + 1;
+                while is_punct(toks, j, '&') || is_ident(toks, j, "mut") {
+                    j += 1;
+                }
+                if let Some(name_tok) = toks.get(j) {
+                    if name_tok.kind == TokKind::Ident
+                        && bound.contains(&name_tok.text)
+                        && is_punct(toks, j + 1, '{')
+                    {
+                        out.push(
+                            self.id(),
+                            cx.rel_path,
+                            name_tok.line,
+                            name_tok.col,
+                            format!(
+                                "`for … in {}` iterates a hash-ordered \
+                                 collection: order is nondeterministic",
+                                name_tok.text
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Finds the identifier a `HashMap`/`HashSet` at `toks[at]` is bound
+/// to, if the binding is visible lexically: `let [mut] name … = …` or
+/// a struct field / parameter `name: …HashMap…`.
+fn bound_name(
+    toks: &[crate::lexer::Tok],
+    at: usize,
+) -> Option<String> {
+    // Walk back to the statement/field start.
+    let mut i = at;
+    let mut steps = 0;
+    while i > 0 && steps < 40 {
+        let t = &toks[i - 1];
+        if t.kind == TokKind::Punct
+            && matches!(t.text.as_str(), ";" | "{" | "}" | ",")
+        {
+            break;
+        }
+        if t.kind == TokKind::Ident && t.text == "let" {
+            // `let [mut] <name>`.
+            let mut j = i;
+            if is_ident(toks, j, "mut") {
+                j += 1;
+            }
+            let name = toks.get(j)?;
+            if name.kind == TokKind::Ident {
+                return Some(name.text.clone());
+            }
+            return None;
+        }
+        i -= 1;
+        steps += 1;
+    }
+    // Field/param form: `<name> : … HashMap`. After walking back, the
+    // statement starts at `i`; accept `ident :` right there (possibly
+    // after `pub`).
+    let mut j = i;
+    if is_ident(toks, j, "pub") {
+        j += 1;
+    }
+    let name = toks.get(j)?;
+    if name.kind == TokKind::Ident
+        && is_punct(toks, j + 1, ':')
+        && !is_punct(toks, j + 2, ':')
+    {
+        return Some(name.text.clone());
+    }
+    None
+}

@@ -1,0 +1,68 @@
+//! `no-wallclock-entropy`: the deterministic crates must not read the
+//! clock or an entropy source.
+//!
+//! The offline pipeline's contract is byte-identical output at any
+//! thread count on any machine; `Instant::now()` / `SystemTime::now()`
+//! and OS randomness (`RandomState`, `OsRng`, `thread_rng`,
+//! `from_entropy`, `getrandom`) all smuggle the environment into the
+//! computation. Runtime crates (`knative`, `bench`, `baselines`) are
+//! exempt — measuring wall-clock is their job. Sites that only record
+//! diagnostics (e.g. training wall-clock in `TrainStats`) carry an
+//! `audit:allow` with the invariant spelled out.
+
+use super::{FileContext, Rule, RuleOutput};
+use crate::findings::{CrateClass, FileKind};
+use crate::lexer::TokKind;
+
+/// Identifiers that read the clock or an entropy source.
+const FORBIDDEN: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "RandomState",
+    "OsRng",
+    "ThreadRng",
+    "thread_rng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// See module docs.
+pub struct NoWallclockEntropy;
+
+impl Rule for NoWallclockEntropy {
+    fn id(&self) -> &'static str {
+        "no-wallclock-entropy"
+    }
+
+    fn describe(&self) -> &'static str {
+        "deterministic crates must not read wall-clock time or entropy"
+    }
+
+    fn check_source(&self, cx: &FileContext, out: &mut RuleOutput) {
+        if cx.class != CrateClass::Deterministic
+            || !matches!(cx.kind, FileKind::Lib | FileKind::Bin)
+        {
+            return;
+        }
+        for t in cx.toks {
+            if t.kind != TokKind::Ident || cx.is_test_line(t.line) {
+                continue;
+            }
+            if FORBIDDEN.contains(&t.text.as_str()) {
+                out.push(
+                    self.id(),
+                    cx.rel_path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` in deterministic crate `{}`: wall-clock and \
+                         entropy are forbidden here (use the seeded \
+                         `femux_stats::rng::Rng`, or annotate a \
+                         diagnostics-only site)",
+                        t.text, cx.crate_name
+                    ),
+                );
+            }
+        }
+    }
+}

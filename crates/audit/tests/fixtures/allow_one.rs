@@ -1,0 +1,15 @@
+//! Fixture: `audit:allow` suppresses precisely one finding.
+//! Scanned by `tests/fixtures.rs` as `sim` / Deterministic / Lib.
+
+pub fn two_panics() {
+    // audit:allow(panic-path, reason = "fixture: suppresses only the next line")
+    panic!("suppressed");
+    panic!("still reported");
+}
+
+pub fn trailing(v: &[u64]) -> u64 {
+    *v.first().unwrap() // audit:allow(panic-path, reason = "fixture: trailing form targets its own line")
+}
+
+// audit:allow(lossy-cast, reason = "fixture: suppresses nothing, reported unused")
+pub fn clean() {}

@@ -1,0 +1,13 @@
+//! Fixture: environment reads in a deterministic crate.
+//! Scanned by `tests/fixtures.rs` as `forecast` / Deterministic / Lib.
+
+pub fn threads() -> usize {
+    std::env::var("FEMUX_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn argv() -> Vec<String> {
+    std::env::args().collect()
+}

@@ -1,0 +1,14 @@
+//! Fixture: truncating casts in an accumulation crate.
+//! Scanned by `tests/fixtures.rs` as `rum` / Lib.
+
+pub fn pack(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn shrink(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}

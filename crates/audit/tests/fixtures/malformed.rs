@@ -1,0 +1,7 @@
+//! Fixture: malformed annotations never silently suppress.
+//! Scanned by `tests/fixtures.rs` as `core` / Deterministic / Lib.
+
+pub fn unjustified() {
+    // audit:allow(panic-path)
+    panic!("the annotation above has no reason, so this stays reported");
+}

@@ -1,0 +1,23 @@
+//! Fixture: undocumented panic paths in library code.
+//! Scanned by `tests/fixtures.rs` as `core` / Deterministic / Lib.
+
+pub fn first_bare(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn boom() {
+    panic!("unhandled");
+}
+
+pub fn first_documented(v: &[u64]) -> u64 {
+    *v.first().expect("invariant: caller guarantees non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u64];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: hash-ordered collections in a deterministic crate.
+//! Scanned by `tests/fixtures.rs` as `features` / Deterministic / Lib.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}

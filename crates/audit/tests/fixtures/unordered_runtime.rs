@@ -1,0 +1,28 @@
+//! Fixture: iterating a hash-ordered collection in a runtime crate.
+//! Scanned by `tests/fixtures.rs` as `knative` / Runtime / Lib.
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    pods: HashMap<String, u64>,
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<String> {
+        self.pods.keys().cloned().collect()
+    }
+
+    pub fn drain_total(&mut self) -> u64 {
+        let mut scratch = HashMap::new();
+        std::mem::swap(&mut scratch, &mut self.pods);
+        let mut sum = 0;
+        for (_, v) in &scratch {
+            sum += v;
+        }
+        sum
+    }
+
+    pub fn bump(&mut self, name: &str) {
+        *self.pods.entry(name.to_string()).or_insert(0) += 1;
+    }
+}

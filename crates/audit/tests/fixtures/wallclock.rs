@@ -1,0 +1,20 @@
+//! Fixture: wall-clock and entropy reads in a deterministic crate.
+//! Scanned by `tests/fixtures.rs` as `sim` / Deterministic / Lib.
+
+pub fn measure() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis() as u64
+}
+
+pub fn seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t0 = std::time::Instant::now();
+    }
+}

@@ -163,6 +163,7 @@ pub fn label_fleet(
     apps: &[TrainApp],
     cfg: &FemuxConfig,
 ) -> LabelledBlocks {
+    // audit:allow(no-wallclock-entropy, reason = "labelling_secs is a TrainStats diagnostic; it never feeds labels, features, or model state")
     let t0 = std::time::Instant::now();
     type AppLabels = (Vec<Block>, Vec<Vec<f64>>, Vec<Vec<CostRecord>>);
     let per_app: Vec<AppLabels> = femux_par::par_map(apps, |ai, app| {
@@ -227,6 +228,7 @@ pub fn train_from_labels(
     if labelled.blocks.is_empty() {
         return None;
     }
+    // audit:allow(no-wallclock-entropy, reason = "feature_secs is a TrainStats diagnostic; it never feeds the fitted model")
     let tf = std::time::Instant::now();
     let rows = femux_features::extract_all(&labelled.blocks, &cfg.features);
     let feature_secs = tf.elapsed().as_secs_f64();
@@ -242,6 +244,7 @@ pub fn train_from_labels(
     }
     let default_idx = argmin(&forecaster_totals);
 
+    // audit:allow(no-wallclock-entropy, reason = "fit_secs is a TrainStats diagnostic; it never feeds the fitted model")
     let t1 = std::time::Instant::now();
     let classifier = match kind {
         ClassifierKind::KMeans => {
@@ -291,7 +294,7 @@ pub fn train_from_labels(
                 .blocks
                 .iter()
                 .map(|b| b.app_index)
-                .collect::<std::collections::HashSet<_>>()
+                .collect::<std::collections::BTreeSet<_>>()
                 .len(),
             labelling_secs: labelled.labelling_secs,
             feature_secs,

@@ -7,7 +7,7 @@
 //! classification, forecasting — stays per-tier, which is exactly what
 //! makes RUM-based design "decoupled" from the platform.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::model::FemuxModel;
@@ -25,7 +25,9 @@ pub struct TierModel {
 pub struct TieredDeployment {
     tiers: Vec<TierModel>,
     /// App index -> tier index; apps not present use `default_tier`.
-    assignment: HashMap<usize, usize>,
+    /// Ordered so any future enumeration of assignments is
+    /// deterministic (it reaches per-tier reports).
+    assignment: BTreeMap<usize, usize>,
     default_tier: usize,
 }
 
@@ -40,7 +42,7 @@ impl TieredDeployment {
         assert!(default_tier < tiers.len(), "default tier out of range");
         TieredDeployment {
             tiers,
-            assignment: HashMap::new(),
+            assignment: BTreeMap::new(),
             default_tier,
         }
     }
@@ -55,6 +57,7 @@ impl TieredDeployment {
             .tiers
             .iter()
             .position(|t| t.name == tier_name)
+            // audit:allow(panic-path, reason = "documented public-API contract (# Panics): an unknown tier name is a caller bug, not a data error")
             .unwrap_or_else(|| panic!("unknown tier {tier_name:?}"));
         self.assignment.insert(app_index, tier);
     }

@@ -8,16 +8,20 @@
 //! text codec for [`ManagerSnapshot`] so the stored values are plain
 //! strings as they would be in etcd.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use femux::manager::ManagerSnapshot;
 use femux_forecast::ForecasterKind;
 use parking_lot::RwLock;
 
 /// A versioned in-memory key-value store (etcd stand-in).
+///
+/// Keys are ordered (as in etcd, whose keyspace is a sorted byte
+/// range): enumeration such as [`StateStore::keys`] is deterministic,
+/// so snapshot/restore tooling built on it replays identically.
 #[derive(Debug, Default)]
 pub struct StateStore {
-    inner: RwLock<HashMap<String, (u64, String)>>,
+    inner: RwLock<BTreeMap<String, (u64, String)>>,
 }
 
 impl StateStore {
@@ -42,6 +46,13 @@ impl StateStore {
     /// Deletes a key; returns whether it existed.
     pub fn delete(&self, key: &str) -> bool {
         self.inner.write().remove(key).is_some()
+    }
+
+    /// Returns all keys in sorted order (etcd-style range listing) —
+    /// the enumeration a rescheduled FeMux pod uses to restore every
+    /// application state deterministically.
+    pub fn keys(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
     }
 
     /// Number of keys stored.
@@ -188,6 +199,17 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert!(store.delete("app-2"));
         assert!(!store.delete("app-2"));
+    }
+
+    #[test]
+    fn keys_enumerate_in_sorted_order() {
+        let store = StateStore::new();
+        for key in ["apps/9", "apps/1", "apps/5"] {
+            store.put(key, "v".into());
+        }
+        // Insertion order differs from key order; enumeration must be
+        // sorted regardless, like an etcd range read.
+        assert_eq!(store.keys(), vec!["apps/1", "apps/5", "apps/9"]);
     }
 
     #[test]

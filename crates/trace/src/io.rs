@@ -11,7 +11,7 @@
 //!
 //! The first line is a header `femux-trace,v1,<span_ms>`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 use crate::types::{
@@ -143,7 +143,9 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, TraceIoError> {
         "span",
     )?;
     let mut trace = Trace::new(span_ms);
-    let mut index: HashMap<u32, usize> = HashMap::new();
+    // Ordered: app-id -> slot lookups must stay deterministic even if
+    // a future writer enumerates this index into an output file.
+    let mut index: BTreeMap<u32, usize> = BTreeMap::new();
     for (lineno, line) in lines.enumerate() {
         let lineno = lineno + 2;
         let line = line?;

@@ -119,6 +119,7 @@ impl ArrivalPattern {
                 let progress = t_ms as f64 / span_ms.max(1) as f64;
                 base_rate * daily * weekly * (1.0 + ramp * progress)
             }
+            // audit:allow(panic-path, reason = "internal invariant: rate_at is only called from generate() on the rate-modulated arms matched above")
             _ => unreachable!("rate_at only for rate-modulated patterns"),
         }
     }

@@ -1,0 +1,59 @@
+//! Tier-1 gate: the workspace passes its own static-analysis audit.
+//!
+//! `femux-audit` enforces the determinism and hygiene contracts the
+//! rest of this suite relies on (no wall-clock/entropy/env reads in
+//! deterministic crates, no hash-ordered iteration reaching output,
+//! pure `par_map` closures, no undocumented panic paths, offline-only
+//! dependencies). This test is the enforcement point: it fails the
+//! build on any unannotated finding, on any malformed or stale
+//! `audit:allow`, and on any thread-count dependence in the audit's
+//! own JSON report.
+
+use femux_audit::{render_json, render_text, scan_workspace};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // The root package's manifest dir IS the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_has_zero_unannotated_findings() {
+    let audit = scan_workspace(workspace_root()).expect("scan");
+    assert!(audit.files_scanned > 100, "walk found the workspace");
+    assert!(
+        audit.findings.is_empty()
+            && audit.malformed_allows.is_empty()
+            && audit.unused_allows.is_empty(),
+        "the workspace must audit clean; fix the sites or annotate \
+         them with a reason:\n{}",
+        render_text(&audit)
+    );
+    // Every suppression in the tree carries its justification.
+    assert!(audit
+        .allowed
+        .iter()
+        .all(|s| !s.reason.trim().is_empty()));
+}
+
+#[test]
+fn report_is_byte_identical_at_any_thread_count() {
+    // The audit dogfoods femux_par::par_map for its file scan; its
+    // report must honor the same contract it enforces.
+    let single = {
+        let _guard = femux_par::override_threads(1);
+        render_json(&scan_workspace(workspace_root()).expect("scan"))
+    };
+    let eight = {
+        let _guard = femux_par::override_threads(8);
+        render_json(&scan_workspace(workspace_root()).expect("scan"))
+    };
+    assert_eq!(single, eight);
+    // And stable across repeated runs at the same count: no
+    // timestamps, no absolute paths, no iteration-order leaks.
+    let again = {
+        let _guard = femux_par::override_threads(8);
+        render_json(&scan_workspace(workspace_root()).expect("scan"))
+    };
+    assert_eq!(eight, again);
+}
