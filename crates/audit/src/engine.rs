@@ -136,6 +136,8 @@ fn apply_allows(
 /// Audits every file under `root` (a workspace root).
 pub fn scan_workspace(root: &Path) -> Result<WorkspaceAudit, String> {
     let files = discover(root)?;
+    femux_obs::counter_add("audit.scans", 1);
+    femux_obs::counter_add("audit.files_scanned", files.len() as u64);
     let per_file: Vec<Result<FileAudit, String>> =
         femux_par::par_map(&files, |_, file| audit_file(file));
     let mut audit = WorkspaceAudit {

@@ -60,6 +60,39 @@ fn wallclock_rule_is_scoped_to_deterministic_crates() {
 }
 
 #[test]
+fn wallclock_carves_out_only_the_obs_walltime_module() {
+    // `crates/obs` is a deterministic crate, but its quarantined
+    // wall-clock module is the one sanctioned timing site in the
+    // workspace — the rule skips exactly that path.
+    let fa = scan(
+        "crates/obs/src/walltime.rs",
+        "obs",
+        CrateClass::Deterministic,
+        include_str!("fixtures/wallclock.rs"),
+    );
+    assert!(
+        fa.findings.is_empty(),
+        "the sanctioned walltime module is exempt: {:?}",
+        triples(&fa)
+    );
+    // The same source anywhere else in `crates/obs` still fires.
+    let fa = scan(
+        "crates/obs/src/lib.rs",
+        "obs",
+        CrateClass::Deterministic,
+        include_str!("fixtures/wallclock.rs"),
+    );
+    assert_eq!(
+        triples(&fa)
+            .iter()
+            .map(|t| (t.0, t.1))
+            .collect::<Vec<_>>(),
+        vec![("no-wallclock-entropy", 5), ("no-wallclock-entropy", 10)],
+        "the carve-out is per-path, not per-crate"
+    );
+}
+
+#[test]
 fn unordered_flags_any_use_in_deterministic_crates() {
     let fa = scan(
         "fixtures/unordered_det.rs",

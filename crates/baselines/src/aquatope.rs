@@ -32,6 +32,7 @@ impl AquatopePolicy {
             seed,
         });
         let mse = lstm.train(train_arrivals);
+        femux_obs::counter_add("baselines.aquatope.lstm_trainings", 1);
         (
             AquatopePolicy {
                 lstm,

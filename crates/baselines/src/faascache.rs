@@ -186,6 +186,8 @@ pub fn simulate(trace: &Trace, cfg: &FaasCacheConfig) -> FaasCacheResult {
         total.merge(&f.costs);
         per_app.push(f.costs);
     }
+    femux_obs::counter_add("baselines.faascache.simulations", 1);
+    femux_obs::counter_add("baselines.faascache.evictions", evictions);
     FaasCacheResult {
         per_app,
         total,

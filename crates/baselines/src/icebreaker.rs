@@ -52,6 +52,7 @@ impl ScalingPolicy for IceBreakerPolicy {
             return 0;
         }
         let predicted_arrivals = self.fft.forecast(window, 1)[0];
+        femux_obs::counter_add("baselines.icebreaker.fft_forecasts", 1);
         if predicted_arrivals < 0.5 {
             // FFT forecasts (almost) nothing: keep nothing warm. This is
             // the failure mode the paper highlights for sparse apps.

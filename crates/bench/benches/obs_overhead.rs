@@ -1,0 +1,63 @@
+//! Criterion smoke-benchmark: telemetry overhead on the labelling
+//! stage.
+//!
+//! The observability layer's contract is "inert by default": with the
+//! switches off, every recording call is one relaxed atomic load. This
+//! bench runs `label_fleet` three ways — obs off, metrics on, and
+//! metrics+events on — so a regression that makes the disabled path
+//! allocate (or the enabled path exceed the ~5 % budget) shows up as a
+//! ratio between adjacent bench lines rather than needing an absolute
+//! threshold on a shared CI machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use femux::config::FemuxConfig;
+use femux::model::{label_fleet, TrainApp};
+use femux_stats::rng::Rng;
+use std::hint::black_box;
+
+fn fleet(n: usize) -> Vec<TrainApp> {
+    let mut rng = Rng::seed_from_u64(33);
+    (0..n)
+        .map(|i| TrainApp {
+            concurrency: (0..600)
+                .map(|t| {
+                    (2.0 + ((t + i * 13) as f64 * 0.2).sin()
+                        + 0.2 * rng.normal())
+                    .max(0.0)
+                })
+                .collect(),
+            exec_secs: 0.5,
+            mem_gb: 0.25,
+            pod_concurrency: 1,
+        })
+        .collect()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let cfg = FemuxConfig::for_tests();
+    let apps = fleet(8);
+
+    femux_obs::set_enabled(false);
+    c.bench_function("label_fleet_obs_off", |b| {
+        b.iter(|| black_box(label_fleet(black_box(&apps), &cfg)))
+    });
+
+    {
+        let _g = femux_obs::scoped(false);
+        c.bench_function("label_fleet_obs_metrics", |b| {
+            b.iter(|| black_box(label_fleet(black_box(&apps), &cfg)))
+        });
+    }
+
+    {
+        let _g = femux_obs::scoped(true);
+        c.bench_function("label_fleet_obs_events", |b| {
+            b.iter(|| black_box(label_fleet(black_box(&apps), &cfg)))
+        });
+        // Periodically drain so event memory stays bounded across iters.
+        drop(femux_obs::collect());
+    }
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -12,6 +12,7 @@ use femux_bench::{azure_setup, Scale};
 use femux_rum::RumSpec;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let setup = azure_setup(scale);
     let apps = setup.test_apps();

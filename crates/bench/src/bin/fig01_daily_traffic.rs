@@ -29,6 +29,7 @@ fn fleet_pattern(rng: &mut Rng) -> Vec<ArrivalPattern> {
 }
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let _ = Scale::from_env();
     let span_days = 62u64;
     let span_ms = span_days * MS_PER_DAY;

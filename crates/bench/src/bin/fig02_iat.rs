@@ -12,6 +12,7 @@ use femux_stats::desc::{
 use femux_trace::synth::ibm::{generate, IbmFleetConfig};
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     // IAT marginals need unscaled rates (rate_scale alters IATs); volume
     // is bounded with the per-app cap and a short span instead.

@@ -15,6 +15,7 @@ use femux_trace::synth::ibm::{generate, IbmFleetConfig};
 use femux_trace::WorkloadKind;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let xs = log_space(1e-3, 1e3, 40);
     let mut rng = Rng::seed_from_u64(0xF1603);

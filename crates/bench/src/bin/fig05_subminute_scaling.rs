@@ -66,6 +66,7 @@ fn sliding<F: Fn(&[f64]) -> f64>(
 }
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let trace = generate(&IbmFleetConfig {
         n_apps: scale.ibm_apps().min(300),

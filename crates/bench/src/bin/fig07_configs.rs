@@ -11,6 +11,7 @@ use femux_bench::Scale;
 use femux_trace::synth::ibm::{generate, IbmFleetConfig};
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let trace = generate(&IbmFleetConfig {
         n_apps: scale.ibm_apps(),

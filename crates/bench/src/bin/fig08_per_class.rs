@@ -14,6 +14,7 @@ use femux_rum::RumSpec;
 use femux_trace::split::{group_by_class, VolumeThresholds};
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let setup = azure_setup(scale);
     let apps = setup.test_apps();

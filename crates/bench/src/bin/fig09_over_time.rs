@@ -14,6 +14,7 @@ use femux_rum::RumSpec;
 use femux_stats::rng::Rng;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let mut rng = Rng::seed_from_u64(0xF1609);
     // Hour 1: temporally-correlated random bursts (a busy minute tends
     // to be followed by more busy minutes) — the regime where holding

@@ -33,6 +33,7 @@ use femux_trace::repr::counts_per_minute;
 use femux_trace::Trace;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let setup = azure_setup(scale);
     // Materialize the held-out test apps as a millisecond trace

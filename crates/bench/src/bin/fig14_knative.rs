@@ -22,6 +22,7 @@ use femux_trace::split::representative_sample;
 use femux_trace::Trace;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let setup = azure_setup(scale);
     let full = setup.fleet.to_trace();

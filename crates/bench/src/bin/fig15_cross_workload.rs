@@ -11,6 +11,7 @@ use femux_stats::rng::Rng;
 use femux_trace::synth::compare::all_presets;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let mut rng = Rng::seed_from_u64(0xF1615);
     let mut rows = Vec::new();
     for preset in all_presets() {

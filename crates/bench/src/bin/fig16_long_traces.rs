@@ -13,6 +13,7 @@ use femux_trace::synth::patterns::{
 use femux_trace::types::MS_PER_DAY;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let span_ms = 62 * MS_PER_DAY;
 
     // Workload A: diurnal + weekly structure with a slow ramp.

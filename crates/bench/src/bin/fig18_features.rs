@@ -16,6 +16,7 @@ use femux_rum::RumSpec;
 use std::sync::Arc;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let setup = azure_setup(scale);
     let apps = setup.test_apps();

@@ -20,6 +20,7 @@ fn usage() -> ! {
 }
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() != 5 {
         usage();

@@ -14,6 +14,7 @@ use femux_stats::desc::{
 use femux_trace::io::read_trace;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let Some(path) = std::env::args().nth(1) else {
         eprintln!("usage: inspect_trace <trace.csv>");
         std::process::exit(2);

@@ -16,6 +16,7 @@ use femux_bench::{azure_setup, Scale};
 use femux_forecast::{Forecaster, ForecasterKind};
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let setup = azure_setup(scale);
     let cfg = setup.femux_config();

@@ -11,6 +11,7 @@ use femux_trace::synth::compare::all_presets;
 use femux_trace::synth::ibm::{generate, IbmFleetConfig};
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let scale = Scale::from_env();
     let rows: Vec<Vec<String>> = vec![
         vec![

@@ -11,6 +11,7 @@ use femux_bench::capacity::{eval_forecaster_fleet, eval_keepalive};
 use femux_forecast::ForecasterKind;
 
 fn main() {
+    let _obs = femux_bench::obs::session();
     let mark = |b: bool| if b { "x" } else { "" }.to_string();
     let rows = [
         // (metric, shahrad20, faascache, icebreaker, aquatope)

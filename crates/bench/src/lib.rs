@@ -15,6 +15,7 @@ use femux_trace::synth::azure::{generate, AzureFleet, AzureFleetConfig};
 
 pub mod capacity;
 pub mod json;
+pub mod obs;
 pub mod table;
 
 /// Experiment scale, selected with the `FEMUX_SCALE` environment

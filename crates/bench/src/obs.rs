@@ -1,0 +1,148 @@
+//! Shared telemetry wiring for the experiment binaries.
+//!
+//! Every binary under `src/bin/` opens an [`ObsSession`] as its first
+//! statement. The session reads three flags from the command line:
+//!
+//! - `--metrics-out <path>`: enable telemetry and write the flat
+//!   sorted-key metrics JSON on exit;
+//! - `--trace-out <path>`: additionally record trace events and write
+//!   Chrome trace-event JSON (load in `chrome://tracing` or Perfetto);
+//! - `--obs-profile`: additionally record `wall.*` wall-clock metrics
+//!   (waives the byte-identical guarantee for those metrics alone).
+//!
+//! With none of the flags present, nothing is enabled and the binary's
+//! output is byte-identical to an uninstrumented build. Flag parsing
+//! lives here — in the `Runtime`-class bench crate — because the
+//! deterministic crates are forbidden to read ambient state; they only
+//! ever see the process-global switches this session sets.
+
+use std::path::PathBuf;
+
+/// Telemetry switches + output paths for one binary run. Dropping the
+/// session collects the report and writes the requested files.
+pub struct ObsSession {
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+}
+
+/// Opens the session from the process arguments.
+pub fn session() -> ObsSession {
+    from_args(std::env::args().skip(1))
+}
+
+fn from_args<I: Iterator<Item = String>>(mut args: I) -> ObsSession {
+    let mut metrics_out = None;
+    let mut trace_out = None;
+    let mut profile = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-out" => metrics_out = args.next().map(PathBuf::from),
+            "--trace-out" => trace_out = args.next().map(PathBuf::from),
+            "--obs-profile" => profile = true,
+            _ => {
+                if let Some(v) = arg.strip_prefix("--metrics-out=") {
+                    metrics_out = Some(PathBuf::from(v));
+                } else if let Some(v) = arg.strip_prefix("--trace-out=") {
+                    trace_out = Some(PathBuf::from(v));
+                }
+                // Anything else belongs to the binary itself.
+            }
+        }
+    }
+    let on = metrics_out.is_some() || trace_out.is_some();
+    femux_obs::set_enabled(on);
+    femux_obs::set_events(trace_out.is_some());
+    femux_obs::set_profiling(on && profile);
+    if on {
+        // Start from a clean slate (tests or earlier sessions).
+        drop(femux_obs::collect());
+    }
+    ObsSession {
+        metrics_out,
+        trace_out,
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        if self.metrics_out.is_none() && self.trace_out.is_none() {
+            return;
+        }
+        let report = femux_obs::collect();
+        if let Some(path) = &self.metrics_out {
+            match std::fs::write(path, report.metrics_json()) {
+                Ok(()) => eprintln!("metrics: {}", path.display()),
+                Err(e) => {
+                    eprintln!("metrics: write {} failed: {e}", path.display())
+                }
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            match std::fs::write(path, report.chrome_trace_json()) {
+                Ok(()) => eprintln!(
+                    "trace: {} ({} events)",
+                    path.display(),
+                    report.events.len()
+                ),
+                Err(e) => {
+                    eprintln!("trace: write {} failed: {e}", path.display())
+                }
+            }
+        }
+        femux_obs::set_enabled(false);
+        femux_obs::set_events(false);
+        femux_obs::set_profiling(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that toggle the process-global obs switches.
+    static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parses_both_flag_forms_and_ignores_others() {
+        let _lock = OBS_LOCK.lock().expect("obs test lock");
+        let s = from_args(
+            [
+                "--foo",
+                "--metrics-out",
+                "/tmp/m.json",
+                "--trace-out=/tmp/t.json",
+                "bar",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(s.metrics_out.as_deref(), Some("/tmp/m.json".as_ref()));
+        assert_eq!(s.trace_out.as_deref(), Some("/tmp/t.json".as_ref()));
+        assert!(femux_obs::enabled());
+        assert!(femux_obs::events_enabled());
+        assert!(!femux_obs::profiling());
+        // Disarm without writing: the paths are for a later run.
+        s.disarm_for_tests();
+    }
+
+    #[test]
+    fn no_flags_means_inert() {
+        let _lock = OBS_LOCK.lock().expect("obs test lock");
+        let s = from_args(std::iter::empty());
+        assert!(s.metrics_out.is_none() && s.trace_out.is_none());
+        drop(s);
+        assert!(!femux_obs::enabled());
+    }
+}
+
+#[cfg(test)]
+impl ObsSession {
+    fn disarm_for_tests(mut self) {
+        self.metrics_out = None;
+        self.trace_out = None;
+        femux_obs::set_enabled(false);
+        femux_obs::set_events(false);
+        femux_obs::set_profiling(false);
+    }
+}

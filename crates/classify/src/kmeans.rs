@@ -76,6 +76,11 @@ impl KMeans {
         let seeds: Vec<u64> = (0..cfg.restarts.max(1))
             .map(|_| rng.next_u64())
             .collect();
+        femux_obs::counter_add("classify.kmeans.fits", 1);
+        femux_obs::counter_add(
+            "classify.kmeans.restarts",
+            seeds.len() as u64,
+        );
         femux_par::par_map(&seeds, |_, &seed| {
             Self::fit_once(rows, cfg, &mut Rng::seed_from_u64(seed))
         })
@@ -149,6 +154,16 @@ impl KMeans {
             .zip(&assignment)
             .map(|(r, &a)| sq_dist(r, &centroids[a]))
             .sum();
+        // Per-restart work metric; restart count is fixed up front, so
+        // this stays scheduling-invariant even inside the parallel map.
+        femux_obs::counter_add(
+            "classify.kmeans.lloyd_iterations",
+            iterations as u64,
+        );
+        femux_obs::observe(
+            "classify.kmeans.lloyd_iterations",
+            iterations as u64,
+        );
         KMeans {
             centroids,
             inertia,

@@ -282,6 +282,11 @@ impl RandomForest {
         let mut rng = Rng::seed_from_u64(cfg.seed);
         let seeds: Vec<u64> =
             (0..cfg.n_trees).map(|_| rng.next_u64()).collect();
+        femux_obs::counter_add("classify.forest.fits", 1);
+        femux_obs::counter_add(
+            "classify.forest.trees",
+            seeds.len() as u64,
+        );
         let trees = femux_par::par_map(&seeds, |_, &seed| {
             let mut rng = Rng::seed_from_u64(seed);
             // Bootstrap sample.

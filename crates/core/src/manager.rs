@@ -78,7 +78,13 @@ impl AppManager {
                 exec_secs: self.exec_secs,
             };
             let kind = self.model.select(&block);
+            femux_obs::counter_add("core.manager.blocks_classified", 1);
+            femux_obs::counter_add(
+                &format!("core.manager.selected.{}", kind.name()),
+                1,
+            );
             if kind != self.current_kind {
+                femux_obs::counter_add("core.manager.switches", 1);
                 self.current_kind = kind;
                 self.forecaster = kind.build();
             }
@@ -90,6 +96,7 @@ impl AppManager {
     /// Forecasts the next `horizon` steps from the trailing history
     /// window.
     pub fn forecast(&mut self, horizon: usize) -> Vec<f64> {
+        femux_obs::counter_add("core.manager.forecasts", 1);
         let start =
             self.series.len().saturating_sub(self.model.cfg.history);
         self.forecaster.forecast(&self.series[start..], horizon)

@@ -163,8 +163,9 @@ pub fn label_fleet(
     apps: &[TrainApp],
     cfg: &FemuxConfig,
 ) -> LabelledBlocks {
-    // audit:allow(no-wallclock-entropy, reason = "labelling_secs is a TrainStats diagnostic; it never feeds labels, features, or model state")
-    let t0 = std::time::Instant::now();
+    let t0 = femux_obs::walltime::monotonic_micros();
+    femux_obs::counter_add("core.label_fleet.calls", 1);
+    femux_obs::counter_add("core.label_fleet.apps", apps.len() as u64);
     type AppLabels = (Vec<Block>, Vec<Vec<f64>>, Vec<Vec<CostRecord>>);
     let per_app: Vec<AppLabels> = femux_par::par_map(apps, |ai, app| {
         let params = AppParams {
@@ -208,11 +209,16 @@ pub fn label_fleet(
         rum_costs.extend(app_rums);
         cost_records.extend(app_records);
     }
+    femux_obs::counter_add(
+        "core.label_fleet.blocks",
+        blocks.len() as u64,
+    );
+    femux_obs::walltime::record_elapsed("wall.core.label_fleet_us", t0);
     LabelledBlocks {
         blocks,
         rum_costs,
         cost_records,
-        labelling_secs: t0.elapsed().as_secs_f64(),
+        labelling_secs: femux_obs::walltime::elapsed_secs(t0),
     }
 }
 
@@ -228,10 +234,10 @@ pub fn train_from_labels(
     if labelled.blocks.is_empty() {
         return None;
     }
-    // audit:allow(no-wallclock-entropy, reason = "feature_secs is a TrainStats diagnostic; it never feeds the fitted model")
-    let tf = std::time::Instant::now();
+    let tf = femux_obs::walltime::monotonic_micros();
     let rows = femux_features::extract_all(&labelled.blocks, &cfg.features);
-    let feature_secs = tf.elapsed().as_secs_f64();
+    let feature_secs = femux_obs::walltime::elapsed_secs(tf);
+    femux_obs::walltime::record_elapsed("wall.core.extract_all_us", tf);
     let scaler = StandardScaler::fit(&rows);
     let scaled = scaler.transform(&rows);
 
@@ -244,8 +250,12 @@ pub fn train_from_labels(
     }
     let default_idx = argmin(&forecaster_totals);
 
-    // audit:allow(no-wallclock-entropy, reason = "fit_secs is a TrainStats diagnostic; it never feeds the fitted model")
-    let t1 = std::time::Instant::now();
+    let t1 = femux_obs::walltime::monotonic_micros();
+    femux_obs::counter_add("core.train.fits", 1);
+    femux_obs::counter_add(
+        "core.train.blocks",
+        labelled.blocks.len() as u64,
+    );
     let classifier = match kind {
         ClassifierKind::KMeans => {
             let kmeans = KMeans::fit(&scaled, &cfg.kmeans);
@@ -281,7 +291,8 @@ pub fn train_from_labels(
             }
         }
     };
-    let fit_secs = t1.elapsed().as_secs_f64();
+    let fit_secs = femux_obs::walltime::elapsed_secs(t1);
+    femux_obs::walltime::record_elapsed("wall.core.classifier_fit_us", t1);
 
     Some(FemuxModel {
         cfg: cfg.clone(),

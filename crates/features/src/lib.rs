@@ -170,6 +170,8 @@ pub fn extract_all(
     blocks: &[Block],
     kinds: &[FeatureKind],
 ) -> Vec<Vec<f64>> {
+    femux_obs::counter_add("features.extract_all.calls", 1);
+    femux_obs::counter_add("features.blocks", blocks.len() as u64);
     femux_par::par_map(blocks, |_, b| extract(b, kinds))
 }
 

@@ -109,6 +109,10 @@ impl ForecasterKind {
 
     /// Instantiates the forecaster with the paper's hyperparameters.
     pub fn build(self) -> Box<dyn Forecaster> {
+        femux_obs::counter_add(
+            &format!("forecast.built.{}", self.name()),
+            1,
+        );
         match self {
             ForecasterKind::Ar => Box::new(ar::ArForecaster::paper()),
             ForecasterKind::Setar => {

@@ -79,7 +79,13 @@ impl ScalingPolicy for FemuxKnativePolicy {
             self.manager.observe(minute_avg);
             self.ticks_seen = hi;
             // Fresh forecast each completed minute, held until the next.
+            femux_obs::counter_add("knative.femux.minute_batches", 1);
+            let t0 = femux_obs::walltime::monotonic_micros();
             self.held_target_conc = Some(self.manager.forecast(1)[0]);
+            femux_obs::walltime::record_elapsed(
+                "wall.knative.forecast_us",
+                t0,
+            );
         }
         let reactive = self.kpa.target_pods(ctx);
         match self.held_target_conc {

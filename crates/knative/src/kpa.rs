@@ -94,6 +94,7 @@ impl ScalingPolicy for KpaPolicy {
     }
 
     fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize {
+        femux_obs::counter_add("knative.kpa.ticks", 1);
         let per_pod = (ctx.config.concurrency as f64
             * self.cfg.target_utilization)
             .max(1.0);
@@ -114,6 +115,7 @@ impl ScalingPolicy for KpaPolicy {
             && panic_pods_wanted > stable_pods;
         if panic_trigger {
             if self.panicking_since.is_none() {
+                femux_obs::counter_add("knative.kpa.panic_enters", 1);
                 self.panicking_since = Some(ctx.now_ms);
                 self.panic_pods = ctx.current_pods.max(1);
             }
@@ -122,6 +124,7 @@ impl ScalingPolicy for KpaPolicy {
             // Leave panic after one stable window without re-triggering.
             if ctx.now_ms.saturating_sub(since) > self.cfg.stable_window_ms
             {
+                femux_obs::counter_add("knative.kpa.panic_exits", 1);
                 self.panicking_since = None;
                 self.panic_pods = 0;
             }
@@ -137,6 +140,12 @@ impl ScalingPolicy for KpaPolicy {
                 && ctx.current_pods > 0
             {
                 return 1;
+            }
+            if ctx.current_pods > 0 {
+                femux_obs::counter_add(
+                    "knative.kpa.scale_to_zero_decisions",
+                    1,
+                );
             }
             return 0;
         }

@@ -32,6 +32,7 @@ impl StateStore {
 
     /// Writes a value, returning the new revision for the key.
     pub fn put(&self, key: &str, value: String) -> u64 {
+        femux_obs::counter_add("knative.statestore.puts", 1);
         let mut map = self.inner.write();
         let rev = map.get(key).map(|(r, _)| r + 1).unwrap_or(1);
         map.insert(key.to_string(), (rev, value));
@@ -40,6 +41,7 @@ impl StateStore {
 
     /// Reads the latest value and its revision.
     pub fn get(&self, key: &str) -> Option<(u64, String)> {
+        femux_obs::counter_add("knative.statestore.gets", 1);
         self.inner.read().get(key).cloned()
     }
 

@@ -1,0 +1,33 @@
+//! CLI: validate a Chrome trace-event JSON file produced with
+//! `--trace-out` (shape, required fields, monotone timestamps per
+//! track). Exits non-zero with the offending line on failure — the CI
+//! observability job gates on this.
+
+use femux_obs::validate::validate_chrome_trace;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: obs_validate <trace.json>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_validate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match validate_chrome_trace(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: OK ({} events across {} tracks)",
+                summary.events, summary.tracks
+            );
+        }
+        Err(msg) => {
+            eprintln!("{path}: INVALID: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

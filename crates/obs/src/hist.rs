@@ -1,0 +1,166 @@
+//! Fixed-bucket integer histograms.
+//!
+//! Buckets are powers of two by bit length: bucket 0 holds the value 0,
+//! bucket `k` (1 ≤ k ≤ 64) holds `2^(k-1) ≤ v < 2^k`. Bucket boundaries
+//! are a property of the *type*, never of the data, so merging two
+//! histograms is a plain element-wise integer addition — commutative and
+//! associative, which is what makes merged reports byte-identical at any
+//! thread count. All state is integer (`sum` is `u128` so it cannot
+//! saturate on microsecond-scale values); no float ever enters a merge.
+
+/// Number of buckets: the zero bucket plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u128,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts, indexed by [`bucket_index`].
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, otherwise its bit length.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (`0` for bucket 0, `2^k - 1`
+/// otherwise).
+pub fn bucket_upper(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+impl Hist {
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Merges another histogram into this one (commutative).
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Bucket-resolution quantile: the upper bound of the first bucket
+    /// whose cumulative count reaches `num/den` of the total, clamped to
+    /// the observed maximum. Returns 0 for an empty histogram. Pure
+    /// integer arithmetic, so the same data always reports the same
+    /// quantile.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Ceiling of count * num / den, as a u128 to avoid overflow.
+        let target = (self.count as u128 * num as u128)
+            .div_ceil(den as u128)
+            .max(1);
+        let mut cum: u128 = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            cum += c as u128;
+            if cum >= target {
+                return bucket_upper(k).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_tracks_extrema_and_sum() {
+        let mut h = Hist::default();
+        for v in [0, 1, 7, 800, 800] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1608);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 800);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        for v in [3, 9, 1000] {
+            a.record(v);
+        }
+        for v in [0, 12, 77777] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 6);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Hist::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 of 1..=100 lands in the bucket holding 50 (32..63).
+        assert_eq!(h.quantile(50, 100), 63);
+        // p99 clamps to the observed max.
+        assert_eq!(h.quantile(99, 100), 100);
+        assert_eq!(Hist::default().quantile(50, 100), 0);
+    }
+}

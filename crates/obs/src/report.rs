@@ -1,0 +1,220 @@
+//! Collected telemetry and its two exporters.
+//!
+//! - [`Report::metrics_json`]: a flat JSON document with sorted keys —
+//!   one `counters` object, one `histograms` object (count/sum/min/max
+//!   plus bucket-resolution p50/p90/p99), and the trace-event count.
+//! - [`Report::chrome_trace_json`]: Chrome `chrome://tracing` /
+//!   Perfetto trace-event JSON. Each track becomes a named thread lane;
+//!   events are emitted one per line (the validator and diffs rely on
+//!   that), ordered by `(track, seq)` so the same run always serializes
+//!   to the same bytes.
+//!
+//! Everything that reaches these exporters is integer-valued, so no
+//! float formatting — the classic source of platform-dependent output —
+//! is involved anywhere.
+
+use std::collections::BTreeMap;
+
+use crate::sink::{Event, Sink};
+
+/// A merged, ordered snapshot of all recorded telemetry.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Monotonic counters, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms, sorted by name.
+    pub hists: BTreeMap<String, crate::hist::Hist>,
+    /// Trace events, sorted by `(track, seq)`.
+    pub events: Vec<Event>,
+}
+
+impl Report {
+    pub(crate) fn from_sink(sink: Sink) -> Report {
+        let mut events = sink.events;
+        events.sort_by(|a, b| {
+            (&a.track, a.seq, a.ts_us, &a.name).cmp(&(
+                &b.track,
+                b.seq,
+                b.ts_us,
+                &b.name,
+            ))
+        });
+        Report {
+            counters: sink.counters,
+            hists: sink.hists,
+            events,
+        }
+    }
+
+    /// Flat sorted-key JSON metrics document.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_str_json(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_str_json(&mut out, k);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \
+                 \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                h.quantile(50, 100),
+                h.quantile(90, 100),
+                h.quantile(99, 100),
+            ));
+        }
+        if !self.hists.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "}},\n  \"trace_events\": {}\n}}\n",
+            self.events.len()
+        ));
+        out
+    }
+
+    /// Chrome trace-event JSON, one event per line.
+    pub fn chrome_trace_json(&self) -> String {
+        // Stable lane numbering: sorted distinct track names.
+        let mut tracks: Vec<&str> =
+            self.events.iter().map(|e| e.track.as_str()).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        let tid_of: BTreeMap<&str, usize> = tracks
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i + 1))
+            .collect();
+
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\":[\n");
+        out.push_str(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"femux\"}}",
+        );
+        for (&track, &tid) in &tid_of {
+            out.push_str(&format!(
+                ",\n{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"name\":\"thread_name\",\"args\":{{\"name\":"
+            ));
+            push_str_json(&mut out, track);
+            out.push_str("}}");
+        }
+        for e in &self.events {
+            let tid = tid_of[e.track.as_str()];
+            out.push_str(",\n{");
+            match e.dur_us {
+                Some(dur) => out.push_str(&format!(
+                    "\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{},\"dur\":{dur},",
+                    e.ts_us
+                )),
+                None => out.push_str(&format!(
+                    "\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{},\"s\":\"t\",",
+                    e.ts_us
+                )),
+            }
+            out.push_str(&format!("\"cat\":\"{}\",\"name\":", e.cat));
+            push_str_json(&mut out, &e.name);
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{k}\":{v}"));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Appends a JSON string literal (quotes + escapes).
+fn push_str_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut s = Sink::default();
+        s.add("b.count", 2);
+        s.add("a.count", 1);
+        s.observe("lat_ms", 7);
+        s.observe("lat_ms", 900);
+        s.push_event("track-b", "sim", "later", 50, Some(10), &[]);
+        s.push_event("track-a", "sim", "first", 5, None, &[("n", 3)]);
+        s.push_event("track-a", "sim", "second", 9, Some(2), &[]);
+        Report::from_sink(s)
+    }
+
+    #[test]
+    fn metrics_json_has_sorted_keys_and_integer_stats() {
+        let j = sample_report().metrics_json();
+        let a = j.find("a.count").expect("a.count present");
+        let b = j.find("b.count").expect("b.count present");
+        assert!(a < b, "keys sorted");
+        assert!(j.contains("\"count\": 2, \"sum\": 907, \"min\": 7"));
+        assert!(j.contains("\"trace_events\": 3"));
+    }
+
+    #[test]
+    fn chrome_trace_orders_by_track_then_seq() {
+        let t = sample_report().chrome_trace_json();
+        let first = t.find("\"first\"").expect("instant present");
+        let second = t.find("\"second\"").expect("span present");
+        let later = t.find("\"later\"").expect("other track present");
+        assert!(first < second && second < later);
+        assert!(t.contains("\"thread_name\""));
+        assert!(t.ends_with("]}\n"));
+        // One event per line: every line after the first is an object.
+        for line in t.lines().skip(1).take_while(|l| *l != "]}") {
+            assert!(line.starts_with('{') || line.starts_with(",\n"));
+        }
+    }
+
+    #[test]
+    fn string_escaping_is_json_safe() {
+        let mut out = String::new();
+        push_str_json(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

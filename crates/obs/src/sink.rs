@@ -1,0 +1,249 @@
+//! Per-thread telemetry sinks and their deterministic merge.
+//!
+//! Every thread records into its own thread-local [`Sink`] — no locks on
+//! the hot path. When a thread exits (the scoped workers of `femux-par`
+//! are joined before the parallel section returns), the sink's `Drop`
+//! folds its contents into a process-global sink under a mutex. Counter
+//! and histogram merges are commutative integer additions, so the merge
+//! order — which depends on scheduling — cannot influence the collected
+//! totals. Trace events carry a per-track sequence number assigned at
+//! emission; the exporter orders by `(track, seq)`, which restores a
+//! unique deterministic order as long as each track is only ever emitted
+//! from one sequential unit of work (one simulated app, one k-means
+//! restart, …) — the crate's tracking contract.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+use crate::hist::Hist;
+
+/// One recorded trace event (a Chrome trace-event `X` complete span or
+/// `i` instant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Track the event belongs to (becomes a Chrome "thread" lane).
+    pub track: String,
+    /// Event category (`cat` in the trace-event format).
+    pub cat: &'static str,
+    /// Event name.
+    pub name: String,
+    /// Virtual timestamp, microseconds.
+    pub ts_us: u64,
+    /// Duration in microseconds; `None` marks an instant event.
+    pub dur_us: Option<u64>,
+    /// Per-track emission ordinal (export sort key).
+    pub seq: u64,
+    /// Integer-valued event arguments.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// Accumulated telemetry of one thread (or, merged, of the process).
+#[derive(Debug, Default)]
+pub struct Sink {
+    /// Monotonic counters by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by metric name.
+    pub hists: BTreeMap<String, Hist>,
+    /// Trace events in emission order.
+    pub events: Vec<Event>,
+    /// Next sequence number per track.
+    track_seq: BTreeMap<String, u64>,
+}
+
+impl Sink {
+    /// Adds `delta` to a counter.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Hist::default();
+            h.record(value);
+            self.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Records a trace event, assigning its per-track sequence number.
+    pub fn push_event(
+        &mut self,
+        track: &str,
+        cat: &'static str,
+        name: &str,
+        ts_us: u64,
+        dur_us: Option<u64>,
+        args: &[(&'static str, u64)],
+    ) {
+        let seq = if let Some(s) = self.track_seq.get_mut(track) {
+            let v = *s;
+            *s += 1;
+            v
+        } else {
+            self.track_seq.insert(track.to_string(), 1);
+            0
+        };
+        self.events.push(Event {
+            track: track.to_string(),
+            cat,
+            name: name.to_string(),
+            ts_us,
+            dur_us,
+            seq,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Folds `other` into `self`. Counter/histogram merges are
+    /// commutative; events concatenate (the exporter re-orders them by
+    /// `(track, seq)`).
+    pub fn merge(&mut self, other: Sink) {
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in other.hists {
+            if let Some(mine) = self.hists.get_mut(&k) {
+                mine.merge(&h);
+            } else {
+                self.hists.insert(k, h);
+            }
+        }
+        self.events.extend(other.events);
+        // Track sequences never continue across sinks: the tracking
+        // contract says a track lives entirely within one sink, so the
+        // counters are only kept for the (local) emission path.
+        for (k, s) in other.track_seq {
+            let e = self.track_seq.entry(k).or_insert(0);
+            *e = (*e).max(s);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.hists.is_empty()
+            && self.events.is_empty()
+    }
+}
+
+/// Process-global sink that thread-local sinks fold into on thread exit.
+static GLOBAL: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Wrapper whose `Drop` flushes the thread's sink into [`GLOBAL`].
+struct LocalSink(Sink);
+
+impl Drop for LocalSink {
+    fn drop(&mut self) {
+        let local = std::mem::take(&mut self.0);
+        if local.is_empty() {
+            return;
+        }
+        let mut global =
+            GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        global.get_or_insert_with(Sink::default).merge(local);
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalSink> = RefCell::new(LocalSink(Sink::default()));
+}
+
+/// Runs `f` against this thread's sink.
+pub fn with_local<R>(f: impl FnOnce(&mut Sink) -> R) -> R {
+    LOCAL.with(|cell| f(&mut cell.borrow_mut().0))
+}
+
+/// Immediately folds this thread's sink into the global sink.
+///
+/// Worker pools must call this before signalling completion:
+/// `std::thread::scope` wakes the owning thread when the spawned
+/// closure *returns*, which can be before the worker's TLS destructors
+/// (the `Drop`-based flush) have run — so a drain racing that window
+/// would silently miss the last workers' telemetry. The `Drop` flush
+/// remains as a backstop for plain spawned-and-joined threads, where
+/// `JoinHandle::join` does wait for full thread termination.
+pub fn flush_local() {
+    let local = with_local(std::mem::take);
+    if local.is_empty() {
+        return;
+    }
+    let mut global = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+    global.get_or_insert_with(Sink::default).merge(local);
+}
+
+/// Drains this thread's sink and the global sink into one merged sink,
+/// resetting both. Must be called after parallel sections have returned
+/// (the `femux-par` substrate joins its scoped workers, which flushes
+/// their thread-local sinks into the global one before this can run).
+pub fn drain_all() -> Sink {
+    let mut merged = std::mem::take(
+        GLOBAL
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_or_insert_with(Sink::default),
+    );
+    let local = with_local(std::mem::take);
+    merged.merge(local);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let mut s = Sink::default();
+        s.add("a", 2);
+        s.add("a", 3);
+        s.observe("h", 10);
+        assert_eq!(s.counters["a"], 5);
+        assert_eq!(s.hists["h"].count, 1);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let mk = |vals: &[(&str, u64)]| {
+            let mut s = Sink::default();
+            for (k, v) in vals {
+                s.add(k, *v);
+                s.observe("shared", *v);
+            }
+            s
+        };
+        let mut ab = mk(&[("x", 1), ("y", 2)]);
+        ab.merge(mk(&[("x", 10), ("z", 4)]));
+        let mut ba = mk(&[("x", 10), ("z", 4)]);
+        ba.merge(mk(&[("x", 1), ("y", 2)]));
+        assert_eq!(ab.counters, ba.counters);
+        assert_eq!(ab.hists, ba.hists);
+    }
+
+    #[test]
+    fn events_get_per_track_sequence_numbers() {
+        let mut s = Sink::default();
+        s.push_event("t1", "c", "a", 5, None, &[]);
+        s.push_event("t2", "c", "b", 1, Some(2), &[]);
+        s.push_event("t1", "c", "c", 9, None, &[]);
+        let seqs: Vec<(String, u64)> = s
+            .events
+            .iter()
+            .map(|e| (e.track.clone(), e.seq))
+            .collect();
+        assert_eq!(
+            seqs,
+            vec![
+                ("t1".to_string(), 0),
+                ("t2".to_string(), 0),
+                ("t1".to_string(), 1)
+            ]
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Structural validation of exported Chrome trace-event JSON.
+//!
+//! The exporter writes one event per line precisely so this check (and
+//! CI) can stay dependency-free: each line is scanned for balanced
+//! structure and the few fields the trace-event format requires, and
+//! timestamps are checked to be monotone per lane — the property the
+//! per-track sequence ordering is supposed to guarantee.
+
+/// Summary of a structurally valid trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Number of `X`/`i` payload events.
+    pub events: usize,
+    /// Number of distinct lanes (`tid`s) carrying payload events.
+    pub tracks: usize,
+}
+
+/// Validates trace-event JSON produced by
+/// [`crate::Report::chrome_trace_json`]. Returns a summary, or a
+/// message naming the first offending line.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "{\"traceEvents\":[")) => {}
+        other => {
+            return Err(format!(
+                "line 1: expected `{{\"traceEvents\":[`, got {:?}",
+                other.map(|(_, l)| l)
+            ))
+        }
+    }
+    let mut events = 0usize;
+    let mut last_ts: std::collections::BTreeMap<u64, u64> =
+        std::collections::BTreeMap::new();
+    let mut closed = false;
+    for (i, raw) in lines {
+        let n = i + 1;
+        if raw == "]}" {
+            closed = true;
+            continue;
+        }
+        if closed {
+            if !raw.trim().is_empty() {
+                return Err(format!("line {n}: content after `]}}`"));
+            }
+            continue;
+        }
+        let line = raw.strip_suffix(',').unwrap_or(raw);
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("line {n}: not a JSON object"));
+        }
+        if !balanced(line) {
+            return Err(format!("line {n}: unbalanced braces or quotes"));
+        }
+        let ph = field_str(line, "ph")
+            .ok_or_else(|| format!("line {n}: missing \"ph\""))?;
+        let tid = field_u64(line, "tid")
+            .ok_or_else(|| format!("line {n}: missing \"tid\""))?;
+        match ph {
+            "M" => {}
+            "X" | "i" => {
+                let ts = field_u64(line, "ts")
+                    .ok_or_else(|| format!("line {n}: missing \"ts\""))?;
+                if ph == "X" && field_u64(line, "dur").is_none() {
+                    return Err(format!("line {n}: X event without dur"));
+                }
+                if field_str(line, "name").is_none() {
+                    return Err(format!("line {n}: missing \"name\""));
+                }
+                if let Some(&prev) = last_ts.get(&tid) {
+                    if ts < prev {
+                        return Err(format!(
+                            "line {n}: ts {ts} < {prev} on tid {tid} \
+                             (timestamps must be monotone per track)"
+                        ));
+                    }
+                }
+                last_ts.insert(tid, ts);
+                events += 1;
+            }
+            other => {
+                return Err(format!("line {n}: unknown ph {other:?}"))
+            }
+        }
+    }
+    if !closed {
+        return Err("missing closing `]}`".to_string());
+    }
+    Ok(TraceSummary {
+        events,
+        tracks: last_ts.len(),
+    })
+}
+
+/// Checks brace balance outside string literals.
+fn balanced(line: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in line.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth += 1,
+            '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            return false;
+        }
+    }
+    depth == 0 && !in_str
+}
+
+/// Extracts a top-level-ish string field value (no unescaping — exporter
+/// field values that matter here are plain).
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Extracts an unsigned integer field value.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_trace() -> String {
+        [
+            "{\"traceEvents\":[",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"femux\"}},",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"app-00001\"}},",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1000,\"dur\":808,\"cat\":\"sim\",\"name\":\"cold-start\"},",
+            "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":60000,\"s\":\"t\",\"cat\":\"sim\",\"name\":\"scale-up\",\"args\":{\"to\":2}}",
+            "]}",
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn accepts_well_formed_trace() {
+        let s = validate_chrome_trace(&valid_trace()).expect("valid");
+        assert_eq!(s, TraceSummary { events: 2, tracks: 1 });
+    }
+
+    #[test]
+    fn rejects_backwards_timestamps() {
+        let bad = valid_trace().replace("\"ts\":60000", "\"ts\":10");
+        let err = validate_chrome_trace(&bad).expect_err("must fail");
+        assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_truncated_input() {
+        let bad = valid_trace().replace(
+            "\"name\":\"cold-start\"}",
+            "\"name\":\"cold-start\"",
+        );
+        assert!(validate_chrome_trace(&bad).is_err());
+        let truncated: String = valid_trace()
+            .lines()
+            .take(4)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err =
+            validate_chrome_trace(&truncated).expect_err("must fail");
+        assert!(err.contains("]}"), "{err}");
+    }
+
+    #[test]
+    fn rejects_span_without_duration() {
+        let bad = valid_trace().replace("\"dur\":808,", "");
+        let err = validate_chrome_trace(&bad).expect_err("must fail");
+        assert!(err.contains("without dur"), "{err}");
+    }
+
+    #[test]
+    fn exporter_output_round_trips() {
+        let mut s = crate::sink::Sink::default();
+        s.push_event("a", "c", "e1", 1, Some(4), &[("k", 1)]);
+        s.push_event("a", "c", "e2", 8, None, &[]);
+        s.push_event("b", "c", "e3", 2, Some(1), &[]);
+        let text = crate::Report::from_sink(s).chrome_trace_json();
+        let sum = validate_chrome_trace(&text).expect("exporter output valid");
+        assert_eq!(sum, TraceSummary { events: 3, tracks: 2 });
+    }
+}

@@ -95,7 +95,8 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    par_map_threads(items, thread_count(), f)
+    record_dispatch(items.len());
+    par_map_impl(items, thread_count(), f)
 }
 
 /// [`par_map`] with an explicit worker count instead of the global
@@ -105,6 +106,28 @@ pub fn par_map_threads<T, U, F>(
     threads: usize,
     f: F,
 ) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    record_dispatch(items.len());
+    par_map_impl(items, threads, f)
+}
+
+/// Counts one parallel-section dispatch. Only scheduling-invariant
+/// quantities are recorded (sections and items — never workers spawned
+/// or chunks formed, which legitimately vary with the thread count), so
+/// telemetry reports stay byte-identical across `FEMUX_THREADS`.
+fn record_dispatch(items: usize) {
+    femux_obs::counter_add("par.sections", 1);
+    femux_obs::counter_add("par.items", items as u64);
+}
+
+/// The actual map, shared by every public entry point so each dispatch
+/// is counted exactly once regardless of which path (inline, pooled,
+/// chunked) executes it.
+fn par_map_impl<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
@@ -123,15 +146,21 @@ where
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(i, &items[i]);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
                 }
-                let result = f(i, &items[i]);
-                if tx.send((i, result)).is_err() {
-                    break;
-                }
+                // Scoped threads wake the owner before TLS destructors
+                // run, so the telemetry sink must be flushed explicitly
+                // or a drain right after this section could miss it.
+                femux_obs::flush_thread();
             });
         }
         drop(tx);
@@ -169,12 +198,13 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     assert!(chunk_len > 0, "chunk length must be positive");
+    record_dispatch(items.len());
     let threads = thread_count();
     if threads <= 1 || items.len() <= chunk_len {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
     let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
-    let mapped = par_map(&chunks, |ci, chunk| {
+    let mapped = par_map_impl(&chunks, threads, |ci, chunk| {
         let base = ci * chunk_len;
         chunk
             .iter()

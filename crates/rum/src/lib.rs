@@ -85,6 +85,7 @@ impl RumSpec {
 
     /// Evaluates the RUM over one application's costs. Lower is better.
     pub fn evaluate(&self, costs: &CostRecord) -> f64 {
+        femux_obs::counter_add("rum.evaluations", 1);
         match *self {
             RumSpec::Weighted { w_cold, w_mem } => {
                 w_cold * costs.cold_start_seconds

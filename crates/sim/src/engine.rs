@@ -67,6 +67,11 @@ pub struct SimConfig {
     pub respect_min_scale: bool,
     /// Record every request's platform delay (costs memory).
     pub record_delays: bool,
+    /// Telemetry track namespace for this run's trace events. The fleet
+    /// runners set it (via [`femux_obs::next_track_epoch`]) so repeated
+    /// sweeps over the same apps never reuse a track; `None` falls back
+    /// to the policy name.
+    pub obs_track_prefix: Option<String>,
 }
 
 impl Default for SimConfig {
@@ -77,6 +82,7 @@ impl Default for SimConfig {
             scale_limit: Some(ScaleLimit::aws()),
             respect_min_scale: true,
             record_delays: false,
+            obs_track_prefix: None,
         }
     }
 }
@@ -144,6 +150,10 @@ struct Pod {
 /// Internal integrator state.
 struct Engine<'a> {
     cfg: &'a SimConfig,
+    /// Telemetry track for this app's trace events (`None` unless
+    /// `femux_obs` event recording is on). One app is one sequential
+    /// unit of work, so the track honors the obs ordering contract.
+    track: Option<String>,
     concurrency: u64,
     cold_ms: u32,
     min_scale: usize,
@@ -210,12 +220,27 @@ impl Engine<'_> {
             });
             self.costs.cold_starts += 1;
             self.costs.cold_start_seconds += cold as f64 / 1_000.0;
+            femux_obs::counter_add("sim.cold_starts", 1);
+            femux_obs::observe("sim.cold_start_wait_ms", cold);
+            if let Some(track) = &self.track {
+                // The span covers the queueing delay the request pays
+                // while its pod initializes (virtual time, µs).
+                femux_obs::span(
+                    track,
+                    "sim",
+                    "cold-start",
+                    t * 1_000,
+                    cold * 1_000,
+                    &[("wait_ms", cold)],
+                );
+            }
             cold
         };
         self.inflight.push(Reverse(t + delay_ms + dur));
         self.interval_peak =
             self.interval_peak.max(self.inflight.len() as f64);
         self.costs.invocations += 1;
+        femux_obs::counter_add("sim.invocations", 1);
         self.costs.exec_seconds += dur as f64 / 1_000.0;
         self.costs.service_seconds += (delay_ms + dur) as f64 / 1_000.0;
         if self.cfg.record_delays {
@@ -269,16 +294,38 @@ impl Engine<'_> {
             target = target.max(self.min_scale);
         }
         let current = self.pods.len();
+        femux_obs::counter_add("sim.ticks", 1);
         if target > current {
             let cold = self.cold_ms as u64;
             for _ in current..target {
                 if !self.proactive_spawn_allowed(t) {
+                    femux_obs::counter_add("sim.scale_limit_denials", 1);
                     break;
                 }
                 self.pods.push(Pod {
                     warm_at: t + cold,
                     keep_until: t,
                 });
+            }
+            let spawned = self.pods.len() - current;
+            if spawned > 0 {
+                femux_obs::counter_add("sim.scale_up_events", 1);
+                femux_obs::counter_add(
+                    "sim.pods_spawned",
+                    spawned as u64,
+                );
+                if let Some(track) = &self.track {
+                    femux_obs::instant(
+                        track,
+                        "sim",
+                        "scale-up",
+                        t * 1_000,
+                        &[
+                            ("from", current as u64),
+                            ("to", self.pods.len() as u64),
+                        ],
+                    );
+                }
             }
         } else if target < current {
             let needed = (self.inflight.len() as u64)
@@ -302,6 +349,34 @@ impl Engine<'_> {
                 });
                 self.pods.truncate(floor.max(protected));
             }
+            let removed = current - self.pods.len();
+            if removed > 0 {
+                // A scale-down to a zero target is the moment the
+                // policy's keep-alive (or grace period) lapsed.
+                let name = if target == 0 && self.pods.is_empty() {
+                    femux_obs::counter_add("sim.keep_alive_expiries", 1);
+                    "keep-alive-expiry"
+                } else {
+                    "scale-down"
+                };
+                femux_obs::counter_add("sim.scale_down_events", 1);
+                femux_obs::counter_add(
+                    "sim.pods_reclaimed",
+                    removed as u64,
+                );
+                if let Some(track) = &self.track {
+                    femux_obs::instant(
+                        track,
+                        "sim",
+                        name,
+                        t * 1_000,
+                        &[
+                            ("from", current as u64),
+                            ("to", self.pods.len() as u64),
+                        ],
+                    );
+                }
+            }
         }
         self.pod_counts.push(self.pods.len());
     }
@@ -324,8 +399,17 @@ pub fn simulate_app(
         0
     };
     let mem_gb = app.mem_used_mb as f64 / 1_024.0;
+    let track = if femux_obs::events_enabled() {
+        match &cfg.obs_track_prefix {
+            Some(p) => Some(format!("sim/{p}/{}", app.id)),
+            None => Some(format!("sim/{}/{}", policy.name(), app.id)),
+        }
+    } else {
+        None
+    };
     let mut eng = Engine {
         cfg,
+        track,
         concurrency: app.config.concurrency.max(1) as u64,
         cold_ms,
         min_scale,
@@ -378,6 +462,7 @@ pub fn simulate_app(
         .max(span_ms);
     eng.advance(last_end);
 
+    femux_obs::counter_add("sim.apps_simulated", 1);
     let alive_secs = eng.alive_pod_ms / 1_000.0;
     eng.costs.allocated_gb_seconds = mem_gb * alive_secs;
     let busy_pod_secs =

@@ -5,8 +5,10 @@
 //! history), so the caller provides a *factory* that builds one policy
 //! instance per app.
 
+use std::borrow::Cow;
+
 use femux_rum::CostRecord;
-use femux_trace::types::{AppRecord, Trace};
+use femux_trace::types::{AppId, AppRecord, Trace};
 
 use crate::engine::{simulate_app, SimConfig, SimResult};
 use crate::policy::ScalingPolicy;
@@ -14,16 +16,67 @@ use crate::policy::ScalingPolicy;
 /// Per-application outcome of a fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetOutcome {
+    /// Application ids, aligned with `per_app`.
+    pub app_ids: Vec<AppId>,
     /// One cost record per application, in trace order.
     pub per_app: Vec<CostRecord>,
     /// Fleet-wide totals.
     pub total: CostRecord,
 }
 
+/// One application's share of the fleet costs (the per-app view of the
+/// aggregate the paper reports — cold starts, cold-start seconds, and
+/// wasted GB-s per app id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppCostBreakdown {
+    /// The application.
+    pub app_id: AppId,
+    /// Requests served.
+    pub invocations: u64,
+    /// Cold starts paid.
+    pub cold_starts: u64,
+    /// Seconds of cold-start latency paid.
+    pub cold_start_seconds: f64,
+    /// GB-seconds allocated but idle.
+    pub wasted_gb_seconds: f64,
+}
+
 impl FleetOutcome {
     /// Fleet cold-start fraction.
     pub fn cold_start_fraction(&self) -> f64 {
         self.total.cold_start_fraction()
+    }
+
+    /// Per-application cost breakdown, in trace order. Each column sums
+    /// exactly to the corresponding `total` field (the per-app records
+    /// are what `total` is merged from).
+    pub fn per_app_breakdown(&self) -> Vec<AppCostBreakdown> {
+        self.app_ids
+            .iter()
+            .zip(&self.per_app)
+            .map(|(&app_id, costs)| AppCostBreakdown {
+                app_id,
+                invocations: costs.invocations,
+                cold_starts: costs.cold_starts,
+                cold_start_seconds: costs.cold_start_seconds,
+                wasted_gb_seconds: costs.wasted_gb_seconds,
+            })
+            .collect()
+    }
+}
+
+/// Namespaces a fleet run's trace events so repeated sweeps over the
+/// same applications never reuse a track (each track must be one
+/// sequential emission unit). The epoch is drawn here, in sequential
+/// coordination code, so its sequence is deterministic.
+fn with_run_epoch(cfg: &SimConfig) -> Cow<'_, SimConfig> {
+    if femux_obs::events_enabled() && cfg.obs_track_prefix.is_none() {
+        let mut c = cfg.clone();
+        c.obs_track_prefix =
+            Some(format!("fleet-{:02}", femux_obs::next_track_epoch()));
+        Cow::Owned(c)
+    } else {
+        Cow::Borrowed(cfg)
     }
 }
 
@@ -36,15 +89,20 @@ pub fn run_fleet<F>(
 where
     F: FnMut(usize, &AppRecord) -> Box<dyn ScalingPolicy>,
 {
+    let cfg = with_run_epoch(cfg);
     let mut per_app = Vec::with_capacity(trace.apps.len());
     let mut total = CostRecord::default();
     for (i, app) in trace.apps.iter().enumerate() {
         let mut policy = make_policy(i, app);
-        let result = simulate_app(app, policy.as_mut(), trace.span_ms, cfg);
+        let result = simulate_app(app, policy.as_mut(), trace.span_ms, &cfg);
         total.merge(&result.costs);
         per_app.push(result.costs);
     }
-    FleetOutcome { per_app, total }
+    FleetOutcome {
+        app_ids: trace.apps.iter().map(|a| a.id).collect(),
+        per_app,
+        total,
+    }
 }
 
 /// Runs `make_policy` over every app in parallel across `threads`
@@ -62,6 +120,8 @@ pub fn run_fleet_parallel<F>(
 where
     F: Fn(usize, &AppRecord) -> Box<dyn ScalingPolicy> + Sync,
 {
+    let cfg = with_run_epoch(cfg);
+    let cfg = &*cfg;
     let per_app =
         femux_par::par_map_threads(&trace.apps, threads, |i, app| {
             let mut policy = make_policy(i, app);
@@ -71,7 +131,11 @@ where
     for r in &per_app {
         total.merge(r);
     }
-    FleetOutcome { per_app, total }
+    FleetOutcome {
+        app_ids: trace.apps.iter().map(|a| a.id).collect(),
+        per_app,
+        total,
+    }
 }
 
 /// [`run_fleet_parallel`] sized by the ambient `femux-par` thread count
@@ -99,13 +163,14 @@ pub fn run_fleet_detailed<F>(
 where
     F: FnMut(usize, &AppRecord) -> Box<dyn ScalingPolicy>,
 {
+    let cfg = with_run_epoch(cfg);
     trace
         .apps
         .iter()
         .enumerate()
         .map(|(i, app)| {
             let mut policy = make_policy(i, app);
-            simulate_app(app, policy.as_mut(), trace.span_ms, cfg)
+            simulate_app(app, policy.as_mut(), trace.span_ms, &cfg)
         })
         .collect()
 }
@@ -132,6 +197,36 @@ mod tests {
             trace.total_invocations(),
             "every invocation must be served exactly once"
         );
+    }
+
+    #[test]
+    fn per_app_breakdown_sums_to_aggregate() {
+        let trace = generate(&IbmFleetConfig::small(15));
+        let cfg = SimConfig::default();
+        let out = run_fleet(&trace, &cfg, |_, _| {
+            Box::new(KeepAlivePolicy::ten_minutes())
+        });
+        let breakdown = out.per_app_breakdown();
+        assert_eq!(breakdown.len(), trace.apps.len());
+        assert_eq!(
+            breakdown.iter().map(|b| b.app_id).collect::<Vec<_>>(),
+            trace.apps.iter().map(|a| a.id).collect::<Vec<_>>(),
+            "breakdown follows trace order"
+        );
+        let invocations: u64 =
+            breakdown.iter().map(|b| b.invocations).sum();
+        let cold_starts: u64 =
+            breakdown.iter().map(|b| b.cold_starts).sum();
+        let cold_secs: f64 =
+            breakdown.iter().map(|b| b.cold_start_seconds).sum();
+        let wasted: f64 =
+            breakdown.iter().map(|b| b.wasted_gb_seconds).sum();
+        assert_eq!(invocations, out.total.invocations);
+        assert_eq!(cold_starts, out.total.cold_starts);
+        // total is merged by summing the same per-app records in the
+        // same order, so even the float columns match exactly.
+        assert_eq!(cold_secs, out.total.cold_start_seconds);
+        assert_eq!(wasted, out.total.wasted_gb_seconds);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub use engine::{
 };
 pub use fleet::{
     run_fleet, run_fleet_auto, run_fleet_detailed, run_fleet_parallel,
-    FleetOutcome,
+    AppCostBreakdown, FleetOutcome,
 };
 pub use policy::{
     FixedPolicy, ForecastPolicy, KeepAlivePolicy, KnativeDefaultPolicy,

@@ -104,6 +104,7 @@ pub fn adf_test(xs: &[f64], lags: usize) -> Option<AdfResult> {
 /// Runs the ADF test with automatic lag selection via the Schwert rule
 /// `p_max = floor(12 * (n / 100)^{1/4})`, capped for short blocks.
 pub fn adf_test_auto(xs: &[f64]) -> Option<AdfResult> {
+    femux_obs::counter_add("stats.adf.tests", 1);
     let n = xs.len();
     if n < 16 {
         return None;

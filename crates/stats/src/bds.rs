@@ -136,6 +136,7 @@ pub fn bds_on_ar_residuals(
     m: usize,
     eps_factor: f64,
 ) -> Option<BdsResult> {
+    femux_obs::counter_add("stats.bds.tests", 1);
     let (phi, _) = levinson_durbin(xs, order)?;
     let mean = crate::desc::mean(xs);
     let centered: Vec<f64> = xs.iter().map(|x| x - mean).collect();

@@ -321,6 +321,7 @@ pub fn harmonic_extrapolate(
 /// Computes the one-sided power spectral density of a real signal
 /// (excluding DC), normalized so the entries sum to the signal's variance.
 pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    femux_obs::counter_add("stats.fft.power_spectra", 1);
     let n = signal.len();
     if n < 2 {
         return Vec::new();

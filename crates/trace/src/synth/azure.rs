@@ -253,6 +253,7 @@ pub fn generate(cfg: &AzureFleetConfig) -> AzureFleet {
             mem_mb,
         });
     }
+    femux_obs::counter_add("trace.synth.azure.apps", apps.len() as u64);
     AzureFleet {
         apps,
         days: cfg.days,

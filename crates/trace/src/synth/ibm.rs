@@ -352,6 +352,14 @@ pub fn generate(cfg: &IbmFleetConfig) -> Trace {
             invocations,
         });
     }
+    femux_obs::counter_add(
+        "trace.synth.ibm.apps",
+        trace.apps.len() as u64,
+    );
+    femux_obs::counter_add(
+        "trace.synth.ibm.invocations",
+        trace.total_invocations(),
+    );
     trace
 }
 
