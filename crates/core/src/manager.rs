@@ -5,14 +5,33 @@
 //! forecaster, and — whenever a new block completes — asynchronously
 //! re-classifies and switches forecasters. [`FemuxPolicy`] adapts the
 //! manager to the simulator's [`ScalingPolicy`] interface.
+//!
+//! # Graceful degradation
+//!
+//! A production forecaster can misbehave: return `NaN`/`∞` or panic
+//! outright (the `femux-fault` crate injects exactly these). The manager
+//! never lets that reach the autoscaler. Every forecast runs under a
+//! panic guard; a panicking or non-finite forecast demotes the app to
+//! the always-sane moving-average fallback for the remainder of the
+//! block, plus an exponentially growing number of penalty blocks
+//! (`2^strikes - 1`, capped) for repeat offenders. A clean block on the
+//! real forecaster resets the strike count. Demotions, fallback blocks,
+//! and re-promotions are recorded in [`AppManager::history_of_kinds`]
+//! and the `degrade.*` telemetry counters.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use femux_fault::{FaultStats, ForecastFate, ForecastFaults};
 use femux_features::Block;
 use femux_forecast::{Forecaster, ForecasterKind};
 use femux_sim::policy::{PolicyCtx, ScalingPolicy};
 
 use crate::model::FemuxModel;
+
+/// Cap on the degradation backoff exponent (penalty is `2^strikes - 1`
+/// blocks, so the longest demotion is 63 blocks).
+const MAX_STRIKE_EXPONENT: u32 = 6;
 
 /// Online state for one application.
 pub struct AppManager {
@@ -22,9 +41,22 @@ pub struct AppManager {
     current_kind: ForecasterKind,
     forecaster: Box<dyn Forecaster>,
     /// Every forecaster the app has used, in order (switch history —
-    /// Fig. 17 reports switching statistics).
+    /// Fig. 17 reports switching statistics). Degradations to the
+    /// moving-average fallback and the fallback blocks that follow
+    /// appear here too.
     pub history_of_kinds: Vec<ForecasterKind>,
     next_block_end: usize,
+    /// Injected forecaster-fault stream, if this manager runs under a
+    /// fault plan.
+    faults: Option<ForecastFaults>,
+    /// The moving-average fallback while degraded; `None` when healthy.
+    fallback: Option<Box<dyn Forecaster>>,
+    /// Full penalty blocks left before re-promotion is allowed.
+    penalty_blocks_left: usize,
+    /// Consecutive degradations without an intervening clean block.
+    strikes: u32,
+    /// Whether the current block saw a degradation (gates strike reset).
+    faulted_this_block: bool,
 }
 
 impl AppManager {
@@ -39,12 +71,47 @@ impl AppManager {
             series: Vec::new(),
             exec_secs,
             model,
+            faults: None,
+            fallback: None,
+            penalty_blocks_left: 0,
+            strikes: 0,
+            faulted_this_block: false,
         }
     }
 
-    /// Returns the forecaster currently in use.
+    /// Creates a manager whose forecasts are corrupted by the given
+    /// injected-fault stream (see `femux-fault`). Also installs the
+    /// process-wide hook that keeps injected panics off stderr.
+    pub fn with_faults(
+        model: Arc<FemuxModel>,
+        exec_secs: f64,
+        faults: ForecastFaults,
+    ) -> Self {
+        femux_fault::silence_injected_panics();
+        let mut mgr = AppManager::new(model, exec_secs);
+        mgr.faults = Some(faults);
+        mgr
+    }
+
+    /// Returns the forecaster currently in use (the moving-average
+    /// fallback while degraded).
     pub fn current(&self) -> ForecasterKind {
-        self.current_kind
+        if self.fallback.is_some() {
+            ForecasterKind::MovingAverage
+        } else {
+            self.current_kind
+        }
+    }
+
+    /// Whether the manager is currently demoted to the fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    /// Injected forecaster faults fired so far (all zero without a
+    /// fault stream).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Number of forecaster switches so far.
@@ -67,7 +134,17 @@ impl AppManager {
     /// completes a block, the block is classified and the forecaster for
     /// the next block selected (the paper does this asynchronously; the
     /// classification itself takes well under 10 ms).
+    ///
+    /// Non-finite samples (e.g. `NaN` from a lost concurrency report)
+    /// are sanitized to zero so one bad report can never poison the
+    /// history the forecasters and classifier read.
     pub fn observe(&mut self, value: f64) {
+        let value = if value.is_finite() {
+            value
+        } else {
+            femux_obs::counter_add("degrade.nonfinite_observations", 1);
+            0.0
+        };
         self.series.push(value.max(0.0));
         if self.series.len() >= self.next_block_end {
             let lo = self.next_block_end - self.model.cfg.block_len;
@@ -83,23 +160,108 @@ impl AppManager {
                 &format!("core.manager.selected.{}", kind.name()),
                 1,
             );
-            if kind != self.current_kind {
-                femux_obs::counter_add("core.manager.switches", 1);
-                self.current_kind = kind;
-                self.forecaster = kind.build();
+            if self.fallback.is_some() {
+                if self.penalty_blocks_left > 0 {
+                    // Still serving out the backoff penalty: another
+                    // full block on the fallback.
+                    self.penalty_blocks_left -= 1;
+                    self.history_of_kinds
+                        .push(ForecasterKind::MovingAverage);
+                    femux_obs::counter_add("degrade.fallback_blocks", 1);
+                } else {
+                    // Penalty served: re-promote to whatever the
+                    // classifier picked for the fresh block.
+                    self.fallback = None;
+                    if kind != self.current_kind {
+                        femux_obs::counter_add("core.manager.switches", 1);
+                    }
+                    self.current_kind = kind;
+                    self.forecaster = kind.build();
+                    self.history_of_kinds.push(kind);
+                    femux_obs::counter_add("degrade.repromotions", 1);
+                }
+            } else {
+                if kind != self.current_kind {
+                    femux_obs::counter_add("core.manager.switches", 1);
+                    self.current_kind = kind;
+                    self.forecaster = kind.build();
+                }
+                if !self.faulted_this_block {
+                    // A clean block on the real forecaster forgives
+                    // past strikes.
+                    self.strikes = 0;
+                }
+                self.history_of_kinds.push(kind);
             }
-            self.history_of_kinds.push(kind);
+            self.faulted_this_block = false;
             self.next_block_end += self.model.cfg.block_len;
         }
     }
 
     /// Forecasts the next `horizon` steps from the trailing history
     /// window.
+    ///
+    /// The real forecaster runs under a panic guard; a panic or any
+    /// non-finite output demotes the app to the moving-average fallback
+    /// (see the module docs) and the fallback serves this call. The
+    /// returned values are always finite.
     pub fn forecast(&mut self, horizon: usize) -> Vec<f64> {
         femux_obs::counter_add("core.manager.forecasts", 1);
         let start =
             self.series.len().saturating_sub(self.model.cfg.history);
-        self.forecaster.forecast(&self.series[start..], horizon)
+        if self.fallback.is_none() {
+            let fate = match self.faults.as_mut() {
+                Some(f) => f.fate(),
+                None => ForecastFate::None,
+            };
+            let forecaster = &mut self.forecaster;
+            let series = &self.series;
+            let result = catch_unwind(AssertUnwindSafe(move || {
+                let mut out = forecaster.forecast(&series[start..], horizon);
+                match fate {
+                    ForecastFate::None => {}
+                    ForecastFate::Nan => {
+                        out.iter_mut().for_each(|v| *v = f64::NAN)
+                    }
+                    ForecastFate::Inf => {
+                        out.iter_mut().for_each(|v| *v = f64::INFINITY)
+                    }
+                    ForecastFate::Panic => femux_fault::inject_panic(),
+                }
+                out
+            }));
+            match result {
+                Ok(out) if out.iter().all(|v| v.is_finite()) => {
+                    return out;
+                }
+                Ok(_) => {
+                    femux_obs::counter_add("degrade.forecast_nonfinite", 1);
+                }
+                Err(_) => {
+                    femux_obs::counter_add("degrade.forecast_panics", 1);
+                }
+            }
+            self.enter_fallback();
+        }
+        let fallback = self
+            .fallback
+            .as_mut()
+            .expect("degraded path always has a fallback installed");
+        fallback.forecast(&self.series[start..], horizon)
+    }
+
+    /// Demotes the app to the moving-average fallback, charging an
+    /// exponentially growing block penalty for repeat offenses.
+    fn enter_fallback(&mut self) {
+        let penalty =
+            (1usize << self.strikes.min(MAX_STRIKE_EXPONENT)) - 1;
+        self.strikes = self.strikes.saturating_add(1);
+        self.penalty_blocks_left = penalty;
+        self.faulted_this_block = true;
+        self.fallback = Some(ForecasterKind::MovingAverage.build());
+        self.history_of_kinds.push(ForecasterKind::MovingAverage);
+        femux_obs::counter_add("degrade.fallbacks", 1);
+        femux_obs::observe("degrade.penalty_blocks", penalty as u64);
     }
 }
 
@@ -135,6 +297,11 @@ impl AppManager {
     }
 
     /// Rebuilds a manager from a snapshot (e.g. on another FeMux pod).
+    ///
+    /// Degradation state (fallback, strikes, penalty) is deliberately
+    /// transient and not persisted: a rescheduled manager restarts
+    /// healthy on the snapshot's forecaster and re-demotes only if the
+    /// fault recurs.
     pub fn from_snapshot(
         model: Arc<FemuxModel>,
         snap: ManagerSnapshot,
@@ -147,6 +314,11 @@ impl AppManager {
             series: snap.series,
             exec_secs: snap.exec_secs,
             model,
+            faults: None,
+            fallback: None,
+            penalty_blocks_left: 0,
+            strikes: 0,
+            faulted_this_block: false,
         }
     }
 }
@@ -174,6 +346,19 @@ impl FemuxPolicy {
         }
     }
 
+    /// Creates the policy with an injected forecaster-fault stream (see
+    /// [`AppManager::with_faults`]).
+    pub fn with_faults(
+        model: Arc<FemuxModel>,
+        exec_secs: f64,
+        faults: ForecastFaults,
+    ) -> Self {
+        FemuxPolicy {
+            manager: AppManager::with_faults(model, exec_secs, faults),
+            utilization: 0.7,
+        }
+    }
+
     /// Access to the underlying manager (switch statistics).
     pub fn manager(&self) -> &AppManager {
         &self.manager
@@ -196,6 +381,10 @@ impl ScalingPolicy for FemuxPolicy {
         let target = (pred / self.utilization.clamp(0.05, 1.0))
             .max(ctx.inflight as f64);
         ctx.pods_for_concurrency(target)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.manager.fault_stats()
     }
 }
 
@@ -304,6 +493,89 @@ mod tests {
         original.observe(1.5);
         restored.observe(1.5);
         assert_eq!(restored.snapshot(), original.snapshot());
+    }
+
+    #[test]
+    fn nonfinite_observations_are_sanitized() {
+        let model = model();
+        let mut mgr = AppManager::new(model, 0.5);
+        mgr.observe(f64::NAN);
+        mgr.observe(f64::INFINITY);
+        mgr.observe(f64::NEG_INFINITY);
+        mgr.observe(-3.0);
+        mgr.observe(2.5);
+        assert_eq!(
+            mgr.snapshot().series,
+            vec![0.0, 0.0, 0.0, 0.0, 2.5],
+            "bad samples become zero, good samples pass through"
+        );
+    }
+
+    #[test]
+    fn forecast_faults_demote_and_backoff_then_repromote() {
+        let model = model();
+        let block = model.cfg.block_len;
+        // Rate 1.0: every forecast on the real forecaster is corrupted
+        // (NaN, Inf, or panic, flavor drawn from the stream).
+        let faults = femux_fault::FaultConfig::uniform(11, 1.0)
+            .forecast_faults(femux_trace::AppId(3));
+        let mut mgr = AppManager::with_faults(model, 0.5, faults);
+        let feed = |mgr: &mut AppManager, n: usize| {
+            for t in 0..n {
+                mgr.observe((2.0 + (t as f64 * 0.3).sin()).max(0.0));
+            }
+        };
+        feed(&mut mgr, block);
+        assert!(!mgr.is_degraded());
+
+        // First fault: demoted, zero penalty blocks (2^0 - 1).
+        let out = mgr.forecast(3);
+        assert!(out.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(mgr.is_degraded());
+        assert_eq!(mgr.current(), ForecasterKind::MovingAverage);
+        assert_eq!(mgr.fault_stats().forecast_faults, 1);
+        // Further forecasts ride the fallback without drawing faults.
+        let _ = mgr.forecast(3);
+        assert_eq!(mgr.fault_stats().forecast_faults, 1);
+
+        // Next block boundary: penalty served, re-promoted.
+        feed(&mut mgr, block);
+        assert!(!mgr.is_degraded());
+
+        // Second fault without an intervening clean block: one full
+        // penalty block (2^1 - 1) before re-promotion.
+        let _ = mgr.forecast(3);
+        assert!(mgr.is_degraded());
+        assert_eq!(mgr.fault_stats().forecast_faults, 2);
+        feed(&mut mgr, block);
+        assert!(mgr.is_degraded(), "penalty block still being served");
+        feed(&mut mgr, block);
+        assert!(!mgr.is_degraded(), "re-promoted after the penalty");
+        assert!(mgr
+            .history_of_kinds
+            .contains(&ForecasterKind::MovingAverage));
+    }
+
+    #[test]
+    fn forecasts_stay_finite_under_sustained_faults() {
+        let model = model();
+        let block = model.cfg.block_len;
+        let faults = femux_fault::FaultConfig::uniform(23, 1.0)
+            .forecast_faults(femux_trace::AppId(8));
+        let mut mgr = AppManager::with_faults(model, 0.5, faults);
+        // Interleave observations and forecasts across several blocks;
+        // whatever flavor fires (including panics), the caller only
+        // ever sees finite, non-negative predictions.
+        for t in 0..block * 4 {
+            mgr.observe((3.0 + (t as f64 * 0.1).cos()).max(0.0));
+            let out = mgr.forecast(2);
+            assert_eq!(out.len(), 2);
+            assert!(
+                out.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "bad forecast escaped the guard: {out:?}"
+            );
+        }
+        assert!(mgr.fault_stats().forecast_faults > 0);
     }
 
     #[test]

@@ -48,7 +48,9 @@ impl Forecaster for ArForecaster {
         let Some((phi, _)) = levinson_durbin(history, self.order.min(history.len() - 1))
         else {
             // Degenerate window (constant or too short): persist the mean.
-            return vec![m.max(0.0); horizon];
+            let mut out = vec![m.max(0.0); horizon];
+            crate::sanitize_forecast(&mut out);
+            return out;
         };
         let p = phi.len();
         // Iterated AR predictions can diverge when the fitted
@@ -68,6 +70,7 @@ impl Forecaster for ArForecaster {
             series.push(clamped - m);
             out.push(clamped);
         }
+        crate::sanitize_forecast(&mut out);
         out
     }
 }

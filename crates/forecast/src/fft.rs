@@ -42,10 +42,13 @@ impl Forecaster for FftForecaster {
         if history.is_empty() || horizon == 0 {
             return vec![0.0; horizon];
         }
-        harmonic_extrapolate(history, self.harmonics, horizon)
-            .into_iter()
-            .map(|p| p.max(0.0))
-            .collect()
+        let mut out: Vec<f64> =
+            harmonic_extrapolate(history, self.harmonics, horizon)
+                .into_iter()
+                .map(|p| p.max(0.0))
+                .collect();
+        crate::sanitize_forecast(&mut out);
+        out
     }
 }
 

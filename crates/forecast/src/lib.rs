@@ -141,6 +141,24 @@ impl std::fmt::Display for ForecasterKind {
     }
 }
 
+/// Clamps a forecast to the trait's output contract in place: every
+/// value finite and non-negative (`NaN`, `±∞`, and negatives become
+/// zero — zero, not a guess, because a forecaster emitting garbage has
+/// forfeited any claim about demand).
+///
+/// Every in-tree forecaster calls this at the tail of
+/// [`Forecaster::forecast`], so numerical blow-ups deep in a model
+/// (an unstable AR fit, an FFT overflow) can never leak past the trait
+/// boundary. Existing algorithmic clamps stay in place; this is the
+/// final backstop, not a replacement.
+pub fn sanitize_forecast(values: &mut [f64]) {
+    for v in values {
+        if !v.is_finite() || *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
 /// Simulates rolling one-step forecasts over a series: at each step `t >=
 /// warmup`, the forecaster sees `series[t - window .. t]` (or less during
 /// early steps) and predicts step `t`. Returns the prediction for every
@@ -195,6 +213,65 @@ mod tests {
                     pred.iter().all(|p| *p >= 0.0 && p.is_finite()),
                     "{kind} produced invalid values"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn sanitize_forecast_enforces_the_contract() {
+        let mut values =
+            [1.5, f64::NAN, -2.0, f64::INFINITY, 0.0, f64::NEG_INFINITY];
+        sanitize_forecast(&mut values);
+        assert_eq!(values, [1.5, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn every_forecaster_survives_adversarial_histories() {
+        // Property: whatever (finite) history a forecaster is fed, its
+        // output is exactly `horizon` finite, non-negative values. The
+        // histories below are the known numerical trouble-makers:
+        // degenerate windows, extreme dynamic range, and magnitudes
+        // where squared errors overflow.
+        let adversarial: Vec<(&str, Vec<f64>)> = vec![
+            ("empty", Vec::new()),
+            ("single", vec![2.0]),
+            ("all-zeros", vec![0.0; 150]),
+            ("constant", vec![3.5; 150]),
+            (
+                "spikes-1e6",
+                (0..150)
+                    .map(|t| if t % 17 == 0 { 1e6 } else { 0.1 })
+                    .collect(),
+            ),
+            (
+                "spikes-1e150",
+                (0..150)
+                    .map(|t| if t % 13 == 0 { 1e150 } else { 1.0 })
+                    .collect(),
+            ),
+            (
+                "alternating-extremes",
+                (0..150)
+                    .map(|t| if t % 2 == 0 { 1e-300 } else { 1e300 })
+                    .collect(),
+            ),
+        ];
+        for (label, history) in &adversarial {
+            for kind in ForecasterKind::ALL {
+                let mut f = kind.build();
+                for horizon in [1usize, 4, 60] {
+                    let pred = f.forecast(history, horizon);
+                    assert_eq!(
+                        pred.len(),
+                        horizon,
+                        "{kind} on {label}: wrong length"
+                    );
+                    assert!(
+                        pred.iter().all(|p| p.is_finite() && *p >= 0.0),
+                        "{kind} on {label} horizon {horizon} leaked a \
+                         bad value: {pred:?}"
+                    );
+                }
             }
         }
     }

@@ -318,6 +318,7 @@ impl Forecaster for LstmForecaster {
             xs.push(y);
             out.push(y * self.scale);
         }
+        crate::sanitize_forecast(&mut out);
         out
     }
 }

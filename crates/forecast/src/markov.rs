@@ -115,6 +115,7 @@ impl Forecaster for MarkovForecaster {
                 .sum();
             out.push(expected.max(0.0));
         }
+        crate::sanitize_forecast(&mut out);
         out
     }
 }

@@ -88,7 +88,7 @@ impl Forecaster for SeasonalNaiveForecaster {
             let last = history[history.len() - 1].max(0.0);
             return vec![last; horizon];
         };
-        (0..horizon)
+        let mut out: Vec<f64> = (0..horizon)
             .map(|h| {
                 // Step `len + h` echoes step `len + h - k*period` for the
                 // smallest k that lands inside the window.
@@ -101,7 +101,9 @@ impl Forecaster for SeasonalNaiveForecaster {
                 }
                 history[idx].max(0.0)
             })
-            .collect()
+            .collect();
+        crate::sanitize_forecast(&mut out);
+        out
     }
 }
 

@@ -209,6 +209,7 @@ impl Forecaster for SetarForecaster {
             series.push(pred);
             out.push(pred);
         }
+        crate::sanitize_forecast(&mut out);
         out
     }
 }

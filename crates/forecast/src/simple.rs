@@ -42,7 +42,9 @@ impl Forecaster for MovingAverageForecaster {
         }
         let start = history.len().saturating_sub(self.window);
         let avg = femux_stats::desc::mean(&history[start..]).max(0.0);
-        vec![avg; horizon]
+        let mut out = vec![avg; horizon];
+        crate::sanitize_forecast(&mut out);
+        out
     }
 }
 
@@ -57,7 +59,9 @@ impl Forecaster for NaiveForecaster {
 
     fn forecast(&mut self, history: &[f64], horizon: usize) -> Vec<f64> {
         let last = history.last().copied().unwrap_or(0.0).max(0.0);
-        vec![last; horizon]
+        let mut out = vec![last; horizon];
+        crate::sanitize_forecast(&mut out);
+        out
     }
 }
 

@@ -48,7 +48,9 @@ impl Forecaster for SesForecaster {
                 a.1.partial_cmp(&b.1).expect("SSE values are finite")
             })
             .expect("grid is non-empty");
-        vec![level.max(0.0); horizon]
+        let mut out = vec![level.max(0.0); horizon];
+        crate::sanitize_forecast(&mut out);
+        out
     }
 }
 
@@ -95,9 +97,11 @@ impl Forecaster for HoltForecaster {
             }
         }
         let (_, level, trend) = best;
-        (1..=horizon)
+        let mut out: Vec<f64> = (1..=horizon)
             .map(|h| (level + trend * h as f64).max(0.0))
-            .collect()
+            .collect();
+        crate::sanitize_forecast(&mut out);
+        out
     }
 }
 

@@ -12,6 +12,13 @@
 //! The policy plugs into the `femux-sim` engine with a 2-second interval
 //! — the simulator's ticks play the role of the autoscaler loop, and its
 //! per-interval average concurrency plays the queue-proxy reports.
+//!
+//! Queue-proxy reports can go missing in production (the `femux-fault`
+//! layer models this as a `NaN` sample). The policy tolerates that two
+//! ways: windows average over finite samples only, and a tick whose
+//! newest report is missing *holds the last stable target* instead of
+//! recomputing from a gappy window (counted in
+//! `knative.kpa.held_targets`).
 
 use femux_sim::policy::{PolicyCtx, ScalingPolicy};
 
@@ -58,6 +65,9 @@ pub struct KpaPolicy {
     panic_pods: usize,
     /// Last time non-zero demand was observed.
     last_activity_ms: u64,
+    /// Target decided on the last tick with a usable report — held when
+    /// the current report is missing.
+    last_target: usize,
 }
 
 impl KpaPolicy {
@@ -68,6 +78,7 @@ impl KpaPolicy {
             panicking_since: None,
             panic_pods: 0,
             last_activity_ms: 0,
+            last_target: 0,
         }
     }
 
@@ -76,14 +87,23 @@ impl KpaPolicy {
         self.panicking_since.is_some()
     }
 
+    /// Average over the trailing window, counting finite samples only —
+    /// lost reports (`NaN`) neither poison nor dilute the average.
     fn window_avg(&self, series: &[f64], window_ms: u64) -> f64 {
         let ticks = (window_ms / self.cfg.tick_ms).max(1) as usize;
         let start = series.len().saturating_sub(ticks);
-        let w = &series[start..];
-        if w.is_empty() {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &v in &series[start..] {
+            if v.is_finite() {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
             0.0
         } else {
-            w.iter().sum::<f64>() / w.len() as f64
+            sum / n as f64
         }
     }
 }
@@ -95,6 +115,22 @@ impl ScalingPolicy for KpaPolicy {
 
     fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize {
         femux_obs::counter_add("knative.kpa.ticks", 1);
+        // No fresh queue-proxy report this tick: hold the last stable
+        // decision rather than re-deciding from a window missing its
+        // newest point.
+        if matches!(ctx.avg_concurrency.last(), Some(v) if !v.is_finite())
+        {
+            femux_obs::counter_add("knative.kpa.held_targets", 1);
+            return self.last_target;
+        }
+        let target = self.decide(ctx);
+        self.last_target = target;
+        target
+    }
+}
+
+impl KpaPolicy {
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> usize {
         let per_pod = (ctx.config.concurrency as f64
             * self.cfg.target_utilization)
             .max(1.0);
@@ -249,6 +285,43 @@ mod tests {
         // ...but pods survive through most of the grace period.
         let during_grace = res.pod_counts[5..25].iter().max().copied();
         assert_eq!(during_grace, Some(1));
+    }
+
+    #[test]
+    fn window_average_ignores_lost_samples() {
+        let kpa = KpaPolicy::new(KpaConfig::default());
+        let series = [4.0, f64::NAN, 8.0];
+        assert_eq!(kpa.window_avg(&series, 60_000), 6.0);
+        let all_lost = [f64::NAN; 5];
+        assert_eq!(kpa.window_avg(&all_lost, 60_000), 0.0);
+    }
+
+    #[test]
+    fn missing_report_holds_the_last_target() {
+        let a = app(vec![], 10);
+        let mut kpa = KpaPolicy::new(KpaConfig::default());
+        let history: Vec<f64> = vec![7.0; 30];
+        let ctx = PolicyCtx {
+            now_ms: 60_000,
+            interval_ms: 2_000,
+            avg_concurrency: &history,
+            peak_concurrency: &history,
+            arrivals: &history,
+            config: &a.config,
+            current_pods: 1,
+            inflight: 7,
+        };
+        let healthy = kpa.target_pods(&ctx);
+        assert!(healthy >= 1, "steady demand must provision pods");
+        // The next tick's report is lost: the decision must not change.
+        let mut gappy = history.clone();
+        gappy.push(f64::NAN);
+        let ctx = PolicyCtx {
+            now_ms: 62_000,
+            avg_concurrency: &gappy,
+            ..ctx
+        };
+        assert_eq!(kpa.target_pods(&ctx), healthy);
     }
 
     #[test]

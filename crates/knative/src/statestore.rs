@@ -7,6 +7,15 @@
 //! versioned, thread-safe key-value store standing in for etcd, plus a
 //! text codec for [`ManagerSnapshot`] so the stored values are plain
 //! strings as they would be in etcd.
+//!
+//! A pod can die mid-write, and storage can rot: the `v2` codec guards
+//! the payload with an FNV-1a 64 checksum so truncation and bit flips
+//! are *detected* (decode returns `None`) rather than silently restored
+//! as garbage. [`StateStore::put_snapshot`] keeps the previous valid
+//! value under a `#prev` backup key, and
+//! [`StateStore::recover_snapshot`] falls back to it when the primary
+//! is damaged — crash recovery lands on the last good snapshot instead
+//! of panicking or losing the app's history entirely.
 
 use std::collections::BTreeMap;
 
@@ -85,9 +94,64 @@ impl StateStore {
         map.insert(key.to_string(), (rev, value));
         Ok(rev)
     }
+
+    /// Persists a snapshot under `key`, first preserving the current
+    /// value — if it still decodes — under the `#prev` backup key so a
+    /// corrupted write can be recovered from.
+    pub fn put_snapshot(
+        &self,
+        key: &str,
+        snap: &ManagerSnapshot,
+    ) -> u64 {
+        if let Some((_, current)) = self.get(key) {
+            if decode_snapshot(&current).is_some() {
+                self.put(&backup_key(key), current);
+            }
+        }
+        self.put(key, encode_snapshot(snap))
+    }
+
+    /// Reads a snapshot back, falling back to the `#prev` backup when
+    /// the primary value is missing or fails its integrity check.
+    /// Returns `None` only when no stored value decodes.
+    pub fn recover_snapshot(&self, key: &str) -> Option<ManagerSnapshot> {
+        if let Some((_, text)) = self.get(key) {
+            if let Some(snap) = decode_snapshot(&text) {
+                return Some(snap);
+            }
+            femux_obs::counter_add(
+                "knative.statestore.corruption_detected",
+                1,
+            );
+        }
+        let (_, prev) = self.get(&backup_key(key))?;
+        let snap = decode_snapshot(&prev)?;
+        femux_obs::counter_add(
+            "knative.statestore.recovered_from_backup",
+            1,
+        );
+        Some(snap)
+    }
 }
 
-/// Encodes a snapshot as a line-oriented string value.
+fn backup_key(key: &str) -> String {
+    format!("{key}#prev")
+}
+
+/// FNV-1a 64-bit hash of the snapshot body — cheap, dependency-free,
+/// and plenty to catch truncation and bit rot (this is an integrity
+/// check, not an authenticity one).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Encodes a snapshot as a line-oriented string value (`v2`: a `crc=`
+/// line protects everything after it).
 pub fn encode_snapshot(snap: &ManagerSnapshot) -> String {
     let kinds: Vec<&str> = snap
         .history_of_kinds
@@ -96,32 +160,56 @@ pub fn encode_snapshot(snap: &ManagerSnapshot) -> String {
         .collect();
     let series: Vec<String> =
         snap.series.iter().map(|v| format!("{v:.9}")).collect();
-    format!(
-        "v1\ncurrent={}\nnext_block_end={}\nexec_secs={}\nhistory={}\nseries={}",
+    let body = format!(
+        "current={}\nnext_block_end={}\nexec_secs={}\nhistory={}\nseries={}",
         snap.current.name(),
         snap.next_block_end,
         snap.exec_secs,
         kinds.join(","),
         series.join(",")
-    )
+    );
+    format!("v2\ncrc={:016x}\n{body}", fnv1a64(body.as_bytes()))
 }
 
 fn parse_kind(name: &str) -> Option<ForecasterKind> {
     ForecasterKind::ALL.into_iter().find(|k| k.name() == name)
 }
 
-/// Decodes a snapshot encoded by [`encode_snapshot`].
+/// Decodes a snapshot encoded by [`encode_snapshot`]. Accepts the
+/// legacy checksum-less `v1` layout (values written before the codec
+/// change) and the checksummed `v2`; any checksum mismatch is counted
+/// in `knative.statestore.crc_mismatches` and decodes to `None`.
 pub fn decode_snapshot(text: &str) -> Option<ManagerSnapshot> {
-    let mut lines = text.lines();
-    if lines.next()? != "v1" {
-        return None;
+    let (version, rest) = text.split_once('\n')?;
+    match version {
+        "v1" => decode_body(rest),
+        "v2" => {
+            let (crc_line, body) = rest.split_once('\n')?;
+            let crc = u64::from_str_radix(
+                crc_line.strip_prefix("crc=")?,
+                16,
+            )
+            .ok()?;
+            if fnv1a64(body.as_bytes()) != crc {
+                femux_obs::counter_add(
+                    "knative.statestore.crc_mismatches",
+                    1,
+                );
+                return None;
+            }
+            decode_body(body)
+        }
+        _ => None,
     }
+}
+
+fn decode_body(body: &str) -> Option<ManagerSnapshot> {
     let mut current = None;
     let mut next_block_end = None;
     let mut exec_secs = None;
     let mut history = None;
     let mut series = None;
-    for line in lines {
+    for line in body.lines() {
         let (key, value) = line.split_once('=')?;
         match key {
             "current" => current = parse_kind(value),
@@ -212,6 +300,78 @@ mod tests {
         // Insertion order differs from key order; enumeration must be
         // sorted regardless, like an etcd range read.
         assert_eq!(store.keys(), vec!["apps/1", "apps/5", "apps/9"]);
+    }
+
+    #[test]
+    fn legacy_v1_values_still_decode() {
+        let snap = snapshot();
+        // The exact layout the pre-checksum codec wrote.
+        let text = "v1\ncurrent=markov\nnext_block_end=240\n\
+                    exec_secs=0.5\nhistory=exp-smoothing,markov\n\
+                    series=0.000000000,1.500000000,2.250000000,0.125000000";
+        assert_eq!(decode_snapshot(text), Some(snap));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut_point() {
+        let text = encode_snapshot(&snapshot());
+        for cut in 0..text.len() {
+            assert!(
+                decode_snapshot(&text[..cut]).is_none(),
+                "truncation at byte {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected_at_every_byte() {
+        let text = encode_snapshot(&snapshot());
+        for i in 0..text.len() {
+            let mut bytes = text.as_bytes().to_vec();
+            bytes[i] ^= 0x01;
+            let corrupted = String::from_utf8(bytes)
+                .expect("ascii stays ascii under a low-bit flip");
+            assert!(
+                decode_snapshot(&corrupted).is_none(),
+                "bit flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_falls_back_to_last_good_snapshot() {
+        let store = StateStore::new();
+        let old = snapshot();
+        let mut new = snapshot();
+        new.series.push(9.75);
+        new.next_block_end = 480;
+        store.put_snapshot("apps/7", &old);
+        store.put_snapshot("apps/7", &new);
+
+        // Healthy primary wins.
+        assert_eq!(store.recover_snapshot("apps/7"), Some(new.clone()));
+
+        // Truncated primary (crash mid-write): recover the backup.
+        let (_, text) = store.get("apps/7").expect("stored");
+        store.put("apps/7", text[..text.len() / 2].to_string());
+        assert_eq!(store.recover_snapshot("apps/7"), Some(old.clone()));
+
+        // Bit-rotted primary: same story.
+        let mut bytes = text.into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        store.put(
+            "apps/7",
+            String::from_utf8(bytes).expect("ascii"),
+        );
+        assert_eq!(store.recover_snapshot("apps/7"), Some(old));
+
+        // Corrupt primary and no backup: detected, not a panic.
+        store.put("apps/9", "v2\ncrc=0000000000000000\njunk".into());
+        assert_eq!(store.recover_snapshot("apps/9"), None);
+        // A corrupt write never clobbers the backup of a good one.
+        store.put_snapshot("apps/9", &snapshot());
+        assert_eq!(store.recover_snapshot("apps/9"), Some(snapshot()));
     }
 
     #[test]

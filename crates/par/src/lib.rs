@@ -124,6 +124,17 @@ fn record_dispatch(items: usize) {
     femux_obs::counter_add("par.items", items as u64);
 }
 
+/// Flushes the worker's telemetry sink on scope exit — normal return
+/// *and* unwind — so a panicking worker never loses the observations it
+/// already made.
+struct FlushOnExit;
+
+impl Drop for FlushOnExit {
+    fn drop(&mut self) {
+        femux_obs::flush_thread();
+    }
+}
+
 /// The actual map, shared by every public entry point so each dispatch
 /// is counted exactly once regardless of which path (inline, pooled,
 /// chunked) executes it.
@@ -147,6 +158,13 @@ where
             let next = &next;
             let f = &f;
             scope.spawn(move || {
+                // Scoped threads wake the owner before TLS destructors
+                // run, so the telemetry sink must be flushed explicitly
+                // or a drain right after this section could miss it.
+                // A drop guard keeps that true when `f` panics: the
+                // unwind still flushes whatever the worker recorded
+                // before dying.
+                let _flush = FlushOnExit;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
@@ -157,10 +175,6 @@ where
                         break;
                     }
                 }
-                // Scoped threads wake the owner before TLS destructors
-                // run, so the telemetry sink must be flushed explicitly
-                // or a drain right after this section could miss it.
-                femux_obs::flush_thread();
             });
         }
         drop(tx);
@@ -293,6 +307,34 @@ mod tests {
             })
         });
         assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    #[test]
+    fn flush_runs_even_when_a_worker_panics() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let _t = override_threads(4);
+        let _obs = femux_obs::scoped(false);
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, |_, &x| {
+                femux_obs::counter_add("par.test.items_started", 1);
+                assert!(x != 40, "boom at {x}");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic must still propagate");
+        // Every item's counter increment must survive — including the
+        // panicking item's own, recorded on the worker that died. The
+        // surviving workers drain the remaining items (the receiver
+        // runs until every sender drops), and the drop guard flushes
+        // the dead worker's sink mid-unwind, so the merged report is
+        // complete, not short by one worker's share.
+        let report = femux_obs::collect();
+        assert_eq!(
+            report.counters.get("par.test.items_started"),
+            Some(&64),
+            "a panicking worker must not lose its telemetry"
+        );
     }
 
     #[test]

@@ -23,10 +23,17 @@
 //!   `limit.per_minute` new pods per minute once `limit.threshold` pods
 //!   are allocated). Reactive cold-start spawns are not limited (the
 //!   request has already committed to waiting).
+//! - With a [`femux_fault::FaultConfig`] installed, the engine injects
+//!   pod crashes (restart-as-cold-start, allocation uninterrupted),
+//!   cold-start stragglers, report loss (`NaN` concurrency samples),
+//!   and actuation delay/drop through a pending-actuation queue, all
+//!   drawn from a per-app deterministic stream in a fixed order (see
+//!   `femux-fault`'s crate docs for the contract).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use femux_fault::{ActuationFate, AppFaults, FaultStats};
 use femux_rum::CostRecord;
 use femux_trace::types::{AppRecord, Invocation};
 
@@ -72,6 +79,9 @@ pub struct SimConfig {
     /// sweeps over the same apps never reuse a track; `None` falls back
     /// to the policy name.
     pub obs_track_prefix: Option<String>,
+    /// Deterministic fault plan. `None` runs fault-free; a plan with
+    /// all rates zero is byte-identical to `None` (draws never fire).
+    pub faults: Option<femux_fault::FaultConfig>,
 }
 
 impl Default for SimConfig {
@@ -83,6 +93,7 @@ impl Default for SimConfig {
             respect_min_scale: true,
             record_delays: false,
             obs_track_prefix: None,
+            faults: None,
         }
     }
 }
@@ -96,9 +107,14 @@ pub struct SimResult {
     /// `record_delays`).
     pub delays_secs: Vec<f64>,
     /// Average concurrency per interval, as observed by the policy.
+    /// Intervals whose report was lost to an injected fault hold `NaN`
+    /// (the policy saw a missing report; [`CostRecord`]s and RUM are
+    /// never computed from this series).
     pub avg_concurrency: Vec<f64>,
     /// Pod-count samples at each interval boundary.
     pub pod_counts: Vec<usize>,
+    /// Faults injected into this app's run (all zero when fault-free).
+    pub faults: FaultStats,
 }
 
 /// A scale-up or scale-down event reconstructed from the pod-count
@@ -172,6 +188,11 @@ struct Engine<'a> {
     delays: Vec<f64>,
     spawn_minute: u64,
     spawns_this_minute: usize,
+    /// This app's fault stream (`None` when running fault-free).
+    faults: Option<AppFaults>,
+    /// Delayed actuations: `(apply_at_ms, target)` pairs waiting for
+    /// their tick.
+    pending_actuation: Vec<(u64, usize)>,
 }
 
 impl Engine<'_> {
@@ -212,7 +233,21 @@ impl Engine<'_> {
         } else {
             // Cold start: spawn a pod now; it is protected until the end
             // of the current interval and until this request completes.
-            let cold = self.cold_ms as u64;
+            let mut cold = self.cold_ms as u64;
+            // One straggler draw per cold start (fault determinism
+            // contract): the request pays the inflated latency and the
+            // cold-start seconds account for it.
+            if let Some(faults) = self.faults.as_mut() {
+                if let Some(factor) = faults.straggle() {
+                    let inflated =
+                        (cold as f64 * factor).round() as u64;
+                    femux_obs::observe(
+                        "fault.straggler_extra_ms",
+                        inflated.saturating_sub(cold),
+                    );
+                    cold = inflated;
+                }
+            }
             let end = t + cold + dur;
             self.pods.push(Pod {
                 warm_at: t + cold,
@@ -270,14 +305,67 @@ impl Engine<'_> {
 
     fn on_tick(&mut self, t: u64, policy: &mut dyn ScalingPolicy, config: &femux_trace::types::AppConfig) {
         self.advance(t);
-        // Close the completed interval's observations.
-        self.avg_concurrency
-            .push(self.interval_conc_ms / self.cfg.interval_ms as f64);
+        // Fault draw order is part of the determinism contract: per-pod
+        // crash draws in pod-vector order, then the report-loss draw,
+        // then (after the policy decision) the actuation-fate draw.
+        if let Some(faults) = self.faults.as_mut() {
+            let cold = self.cold_ms as u64;
+            let mut crashed = 0u64;
+            for pod in self.pods.iter_mut() {
+                if faults.crash_pod() {
+                    // The pod restarts in place: it stays allocated
+                    // (the platform reschedules it immediately, so
+                    // GB-seconds keep accruing) but must redo its cold
+                    // start, dropping warm capacity until then. The
+                    // restart itself is not a request-visible cold
+                    // start — requests that find no warm capacity pay
+                    // (and account) their own.
+                    pod.warm_at = t + cold;
+                    pod.keep_until = pod.keep_until.max(t);
+                    crashed += 1;
+                }
+            }
+            if crashed > 0 {
+                if let Some(track) = &self.track {
+                    femux_obs::instant(
+                        track,
+                        "fault",
+                        "pod-crash",
+                        t * 1_000,
+                        &[("pods", crashed)],
+                    );
+                }
+            }
+        }
+        // Close the completed interval's observations. A lost report
+        // surfaces as a NaN average-concurrency sample: the policy must
+        // cope with a missing queue-proxy report.
+        let mut avg = self.interval_conc_ms / self.cfg.interval_ms as f64;
+        if let Some(faults) = self.faults.as_mut() {
+            if faults.lose_report() {
+                avg = f64::NAN;
+            }
+        }
+        self.avg_concurrency.push(avg);
         self.peak_concurrency.push(self.interval_peak);
         self.arrivals.push(self.interval_arrivals);
         self.interval_conc_ms = 0.0;
         self.interval_peak = self.inflight.len() as f64;
         self.interval_arrivals = 0.0;
+
+        // Apply actuations whose injected delay has matured, before the
+        // policy observes the pod count.
+        if !self.pending_actuation.is_empty() {
+            let mut i = 0;
+            while i < self.pending_actuation.len() {
+                if self.pending_actuation[i].0 <= t {
+                    let (_, target) = self.pending_actuation.remove(i);
+                    self.apply_target(t, target);
+                } else {
+                    i += 1;
+                }
+            }
+        }
 
         let ctx = PolicyCtx {
             now_ms: t,
@@ -293,8 +381,26 @@ impl Engine<'_> {
         if self.cfg.respect_min_scale {
             target = target.max(self.min_scale);
         }
-        let current = self.pods.len();
         femux_obs::counter_add("sim.ticks", 1);
+        let fate = match self.faults.as_mut() {
+            Some(faults) => faults.actuation_fate(),
+            None => ActuationFate::Apply,
+        };
+        match fate {
+            ActuationFate::Apply => self.apply_target(t, target),
+            ActuationFate::Delay(ticks) => self
+                .pending_actuation
+                .push((t + ticks.max(1) * self.cfg.interval_ms, target)),
+            ActuationFate::Drop => {}
+        }
+        self.pod_counts.push(self.pods.len());
+    }
+
+    /// Applies a scaling decision: scale up under the rate limit, or
+    /// scale down respecting in-flight work, protected pods, and the
+    /// minimum-scale floor.
+    fn apply_target(&mut self, t: u64, target: usize) {
+        let current = self.pods.len();
         if target > current {
             let cold = self.cold_ms as u64;
             for _ in current..target {
@@ -378,7 +484,6 @@ impl Engine<'_> {
                 }
             }
         }
-        self.pod_counts.push(self.pods.len());
     }
 }
 
@@ -433,6 +538,8 @@ pub fn simulate_app(
         delays: Vec::new(),
         spawn_minute: 0,
         spawns_this_minute: 0,
+        faults: cfg.faults.as_ref().map(|f| f.engine_faults(app.id)),
+        pending_actuation: Vec::new(),
     };
 
     let mut next_tick = cfg.interval_ms;
@@ -474,6 +581,10 @@ pub fn simulate_app(
         delays_secs: eng.delays,
         avg_concurrency: eng.avg_concurrency,
         pod_counts: eng.pod_counts,
+        faults: eng
+            .faults
+            .map(|f| f.stats)
+            .unwrap_or_default(),
     }
 }
 
@@ -730,6 +841,138 @@ mod tests {
             assert!(w[0].at_ms < w[1].at_ms);
             assert!(w[0].to == w[1].from);
         }
+    }
+
+    fn fault_cfg(faults: femux_fault::FaultConfig) -> SimConfig {
+        SimConfig {
+            record_delays: true,
+            faults: Some(faults),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_matches_no_plan_byte_for_byte() {
+        let invs: Vec<Invocation> =
+            (0..60).map(|k| inv(k * 3_000, 1_500)).collect();
+        let app = app_with(invs, 1, 0);
+        let mut p1 = KnativeDefaultPolicy;
+        let mut p2 = KnativeDefaultPolicy;
+        let clean = simulate_app(&app, &mut p1, 300_000, &cfg());
+        let zeroed = simulate_app(
+            &app,
+            &mut p2,
+            300_000,
+            &fault_cfg(femux_fault::FaultConfig::off(0xFA17)),
+        );
+        assert_eq!(format!("{clean:?}"), format!("{zeroed:?}"));
+        assert_eq!(zeroed.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn crashed_pod_restarts_cold_but_stays_allocated() {
+        // min_scale 1 keeps one pod warm from t=0; a certain crash at
+        // the 60 s tick leaves it allocated but cold, so the request at
+        // 60.1 s pays a cold start it would not have paid otherwise.
+        let app = app_with(vec![inv(60_100, 100)], 1, 1);
+        let clean =
+            simulate_app(&app, &mut ZeroPolicy, 120_000, &cfg());
+        assert_eq!(clean.costs.cold_starts, 0);
+        let mut faults = femux_fault::FaultConfig::off(1);
+        faults.pod_crash_rate = 1.0;
+        let crashed = simulate_app(
+            &app,
+            &mut ZeroPolicy,
+            120_000,
+            &fault_cfg(faults),
+        );
+        assert_eq!(crashed.costs.cold_starts, 1);
+        assert!(crashed.faults.pod_crashes > 0);
+        crashed.costs.check().expect("crash accounting stays valid");
+        // The crashed pod never leaves the fleet (min_scale floor holds
+        // throughout) and keeps accruing allocation while it restarts;
+        // the reactive cold-start spawn only adds on top.
+        assert!(crashed.pod_counts.iter().all(|&p| p >= 1));
+        assert!(
+            crashed.costs.allocated_gb_seconds
+                >= clean.costs.allocated_gb_seconds - 1e-9,
+            "restarting pod must keep accruing allocation: {} vs {}",
+            crashed.costs.allocated_gb_seconds,
+            clean.costs.allocated_gb_seconds
+        );
+    }
+
+    #[test]
+    fn straggler_inflates_cold_start_latency() {
+        let app = app_with(vec![inv(1_000, 500)], 1, 0);
+        let mut faults = femux_fault::FaultConfig::off(2);
+        faults.straggler_rate = 1.0;
+        faults.straggler_factor = 10.0;
+        let res = simulate_app(
+            &app,
+            &mut ZeroPolicy,
+            120_000,
+            &fault_cfg(faults),
+        );
+        assert_eq!(res.faults.cold_stragglers, 1);
+        assert_eq!(res.delays_secs, vec![8.08]);
+        assert!((res.costs.cold_start_seconds - 8.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropped_actuations_never_scale_up() {
+        let app = app_with(vec![], 1, 0);
+        let mut faults = femux_fault::FaultConfig::off(3);
+        faults.actuation_drop_rate = 1.0;
+        let res = simulate_app(
+            &app,
+            &mut FixedPolicy(3),
+            300_000,
+            &fault_cfg(faults),
+        );
+        assert!(res.pod_counts.iter().all(|&p| p == 0));
+        assert_eq!(res.faults.actuation_drops as usize, res.pod_counts.len());
+    }
+
+    #[test]
+    fn delayed_actuations_apply_one_tick_late() {
+        let app = app_with(vec![], 1, 0);
+        let mut faults = femux_fault::FaultConfig::off(4);
+        faults.actuation_delay_rate = 1.0;
+        let res = simulate_app(
+            &app,
+            &mut FixedPolicy(3),
+            300_000,
+            &fault_cfg(faults),
+        );
+        // Every decision is delayed one tick: the first tick shows no
+        // pods, every later tick shows the previous tick's target.
+        assert_eq!(res.pod_counts[0], 0);
+        assert!(res.pod_counts[1..].iter().all(|&p| p == 3));
+        assert!(res.faults.actuation_delays > 0);
+    }
+
+    #[test]
+    fn lost_reports_surface_as_nan_samples() {
+        let invs: Vec<Invocation> =
+            (0..100).map(|k| inv(k * 1_000, 500)).collect();
+        let app = app_with(invs, 1, 0);
+        let mut faults = femux_fault::FaultConfig::off(5);
+        faults.report_loss_rate = 1.0;
+        let res = simulate_app(
+            &app,
+            &mut KnativeDefaultPolicy,
+            300_000,
+            &fault_cfg(faults),
+        );
+        assert!(res.avg_concurrency.iter().all(|v| v.is_nan()));
+        assert_eq!(
+            res.faults.report_losses as usize,
+            res.avg_concurrency.len()
+        );
+        // Costs never touch the poisoned series.
+        res.costs.check().expect("cost record stays consistent");
+        assert!(res.costs.allocated_gb_seconds.is_finite());
     }
 
     #[test]

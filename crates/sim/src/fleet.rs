@@ -7,6 +7,7 @@
 
 use std::borrow::Cow;
 
+use femux_fault::FaultStats;
 use femux_rum::CostRecord;
 use femux_trace::types::{AppId, AppRecord, Trace};
 
@@ -22,6 +23,11 @@ pub struct FleetOutcome {
     pub per_app: Vec<CostRecord>,
     /// Fleet-wide totals.
     pub total: CostRecord,
+    /// Injected-fault totals across the fleet: engine-side injections
+    /// (crashes, stragglers, actuation faults, report loss) plus any
+    /// policy-side injections reported via
+    /// [`ScalingPolicy::fault_stats`]. All zero for fault-free runs.
+    pub fault_totals: FaultStats,
 }
 
 /// One application's share of the fleet costs (the per-app view of the
@@ -92,16 +98,20 @@ where
     let cfg = with_run_epoch(cfg);
     let mut per_app = Vec::with_capacity(trace.apps.len());
     let mut total = CostRecord::default();
+    let mut fault_totals = FaultStats::default();
     for (i, app) in trace.apps.iter().enumerate() {
         let mut policy = make_policy(i, app);
         let result = simulate_app(app, policy.as_mut(), trace.span_ms, &cfg);
         total.merge(&result.costs);
+        fault_totals.merge(&result.faults);
+        fault_totals.merge(&policy.fault_stats());
         per_app.push(result.costs);
     }
     FleetOutcome {
         app_ids: trace.apps.iter().map(|a| a.id).collect(),
         per_app,
         total,
+        fault_totals,
     }
 }
 
@@ -122,19 +132,28 @@ where
 {
     let cfg = with_run_epoch(cfg);
     let cfg = &*cfg;
-    let per_app =
+    let results =
         femux_par::par_map_threads(&trace.apps, threads, |i, app| {
             let mut policy = make_policy(i, app);
-            simulate_app(app, policy.as_mut(), trace.span_ms, cfg).costs
+            let result =
+                simulate_app(app, policy.as_mut(), trace.span_ms, cfg);
+            let mut faults = result.faults;
+            faults.merge(&policy.fault_stats());
+            (result.costs, faults)
         });
     let mut total = CostRecord::default();
-    for r in &per_app {
-        total.merge(r);
+    let mut fault_totals = FaultStats::default();
+    let mut per_app = Vec::with_capacity(results.len());
+    for (costs, faults) in results {
+        total.merge(&costs);
+        fault_totals.merge(&faults);
+        per_app.push(costs);
     }
     FleetOutcome {
         app_ids: trace.apps.iter().map(|a| a.id).collect(),
         per_app,
         total,
+        fault_totals,
     }
 }
 

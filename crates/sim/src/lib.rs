@@ -13,6 +13,11 @@
 //!   policies — fixed keep-alive (1/5/10 min), Knative's default
 //!   reactive autoscaling, and a generic forecaster-driven policy.
 //! - [`fleet`]: running a policy factory over a whole trace.
+//!
+//! Fault injection (pod crashes, cold-start stragglers, actuation
+//! delay/drop, report loss) is opt-in via [`SimConfig::faults`] and
+//! fully deterministic; see the `femux-fault` crate for the draw-order
+//! contract.
 
 pub mod engine;
 pub mod fleet;

@@ -51,6 +51,14 @@ pub trait ScalingPolicy: Send {
 
     /// Desired number of pods for the next interval.
     fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize;
+
+    /// Fault-injection statistics accumulated inside the policy itself
+    /// (e.g. injected forecaster faults), merged into fleet totals by
+    /// the fleet runners. Policies without internal fault injection
+    /// report nothing.
+    fn fault_stats(&self) -> femux_fault::FaultStats {
+        femux_fault::FaultStats::default()
+    }
 }
 
 /// Keep-alive policy: keeps enough pods for the peak concurrency seen in

@@ -23,10 +23,14 @@ use crate::types::{
 pub enum TraceIoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Structural problem, with a line number and description.
+    /// Structural problem, with a line number, the offending field (when
+    /// the problem is specific to one), and a description.
     Parse {
         /// 1-based line number.
         line: usize,
+        /// The field being parsed when the error arose, if any —
+        /// `None` for line-level problems (bad header, unknown tag).
+        field: Option<&'static str>,
         /// Human-readable description.
         message: String,
     },
@@ -36,7 +40,21 @@ impl std::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
-            TraceIoError::Parse { line, message } => {
+            TraceIoError::Parse {
+                line,
+                field: Some(field),
+                message,
+            } => {
+                write!(
+                    f,
+                    "parse error at line {line}, field {field}: {message}"
+                )
+            }
+            TraceIoError::Parse {
+                line,
+                field: None,
+                message,
+            } => {
                 write!(f, "parse error at line {line}: {message}")
             }
         }
@@ -101,6 +119,19 @@ pub fn write_trace<W: Write>(
 fn parse_err(line: usize, message: impl Into<String>) -> TraceIoError {
     TraceIoError::Parse {
         line,
+        field: None,
+        message: message.into(),
+    }
+}
+
+fn field_err(
+    line: usize,
+    name: &'static str,
+    message: impl Into<String>,
+) -> TraceIoError {
+    TraceIoError::Parse {
+        line,
+        field: Some(name),
         message: message.into(),
     }
 }
@@ -108,20 +139,20 @@ fn parse_err(line: usize, message: impl Into<String>) -> TraceIoError {
 fn field<'a>(
     parts: &mut std::str::Split<'a, char>,
     line: usize,
-    name: &str,
+    name: &'static str,
 ) -> Result<&'a str, TraceIoError> {
-    parts
-        .next()
-        .ok_or_else(|| parse_err(line, format!("missing field {name}")))
+    parts.next().ok_or_else(|| {
+        field_err(line, name, "record truncated before this field")
+    })
 }
 
 fn num<T: std::str::FromStr>(
     s: &str,
     line: usize,
-    name: &str,
+    name: &'static str,
 ) -> Result<T, TraceIoError> {
     s.parse()
-        .map_err(|_| parse_err(line, format!("bad {name}: {s:?}")))
+        .map_err(|_| field_err(line, name, format!("bad {name}: {s:?}")))
 }
 
 /// Reads a trace written by [`write_trace`].
@@ -158,7 +189,9 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, TraceIoError> {
                 let id: u32 =
                     num(field(&mut parts, lineno, "id")?, lineno, "id")?;
                 let kind = parse_kind(field(&mut parts, lineno, "kind")?)
-                    .ok_or_else(|| parse_err(lineno, "bad kind"))?;
+                    .ok_or_else(|| {
+                        field_err(lineno, "kind", "bad kind")
+                    })?;
                 let cpu_milli =
                     num(field(&mut parts, lineno, "cpu")?, lineno, "cpu")?;
                 let mem_mb =
@@ -303,8 +336,65 @@ mod tests {
     fn error_reports_line_numbers() {
         let text = "femux-trace,v1,1\nA,1,app,1,1,1,0,1,1\nQ,oops\n";
         match read_trace(text.as_bytes()).unwrap_err() {
-            TraceIoError::Parse { line, .. } => assert_eq!(line, 3),
+            TraceIoError::Parse { line, field, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(field, None, "tag errors are line-level");
+            }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn truncated_record_names_the_missing_field() {
+        // An app row cut off after mem: the next expected field is the
+        // concurrency limit.
+        let text = "femux-trace,v1,1\nA,1,app,1,1\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match &err {
+            TraceIoError::Parse { line, field, .. } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*field, Some("concurrency"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(
+            err.to_string().contains("line 2")
+                && err.to_string().contains("concurrency"),
+            "message must carry line and field: {err}"
+        );
+    }
+
+    #[test]
+    fn non_numeric_field_names_the_bad_field() {
+        let text =
+            "femux-trace,v1,1\nA,1,app,1,1,1,0,1,1\nI,1,abc,2,3\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match &err {
+            TraceIoError::Parse { line, field, .. } => {
+                assert_eq!(*line, 3);
+                assert_eq!(*field, Some("start"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("\"abc\""), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_accepted_and_resorted() {
+        // External tooling may interleave apps and emit timestamps in
+        // any order; loading is lenient and normalizes per app.
+        let text = "femux-trace,v1,10000\n\
+                    A,1,app,1000,4096,100,0,150,808\n\
+                    A,2,func,1000,4096,100,0,150,808\n\
+                    I,2,9000,10,0\n\
+                    I,1,700,10,0\n\
+                    I,2,50,10,0\n\
+                    I,1,300,10,0\n";
+        let trace = read_trace(text.as_bytes()).expect("lenient load");
+        for app in &trace.apps {
+            assert!(app.is_sorted());
+        }
+        assert_eq!(trace.apps[0].invocations[0].start_ms, 300);
+        assert_eq!(trace.apps[1].invocations[0].start_ms, 50);
     }
 }

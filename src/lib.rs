@@ -8,6 +8,7 @@ pub use femux as core;
 pub use femux_audit as audit;
 pub use femux_baselines as baselines;
 pub use femux_classify as classify;
+pub use femux_fault as fault;
 pub use femux_features as features;
 pub use femux_forecast as forecast;
 pub use femux_knative as knative;

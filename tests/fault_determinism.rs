@@ -1,0 +1,185 @@
+//! Determinism contract of the fault-injection layer.
+//!
+//! Three guarantees, enforced end-to-end through the public crate
+//! surfaces:
+//!
+//! 1. **Thread-invariant plans**: the same fault seed produces
+//!    byte-identical fleet outcomes and telemetry reports at any
+//!    `FEMUX_THREADS` value — per-app fault streams are derived from
+//!    `(seed, app, domain)` alone, never from scheduling.
+//! 2. **Inert at rate zero**: a plan with all rates zero is
+//!    byte-identical to running with no fault layer at all, and emits
+//!    no `fault.*` telemetry.
+//! 3. **Exact accounting**: `fault.*` counters equal the merged
+//!    [`femux_fault::FaultStats`] of the run — every injection observed
+//!    exactly once.
+
+use std::sync::{Arc, Mutex};
+
+use femux::config::FemuxConfig;
+use femux::manager::FemuxPolicy;
+use femux::model::{train, ClassifierKind, FemuxModel, TrainApp};
+use femux_fault::FaultConfig;
+use femux_sim::{run_fleet_auto, FleetOutcome, SimConfig};
+use femux_trace::repr::concurrency_per_minute;
+use femux_trace::synth::ibm::{generate, IbmFleetConfig};
+use femux_trace::Trace;
+
+/// Serializes tests that toggle the process-global obs switches or the
+/// ambient thread count.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn fleet() -> Trace {
+    generate(&IbmFleetConfig::small(42))
+}
+
+/// Trains a small FeMux model on the fleet itself (robustness tests
+/// exercise the fault paths, not generalization).
+fn model(trace: &Trace) -> Arc<FemuxModel> {
+    let cfg = FemuxConfig::for_tests();
+    let apps: Vec<TrainApp> = trace
+        .apps
+        .iter()
+        .step_by(10)
+        .map(|a| TrainApp {
+            concurrency: concurrency_per_minute(
+                &a.invocations,
+                trace.span_ms,
+            ),
+            exec_secs: 0.5,
+            mem_gb: 0.5,
+            pod_concurrency: 1,
+        })
+        .collect();
+    Arc::new(train(&apps, &cfg, ClassifierKind::KMeans).expect("model"))
+}
+
+/// Runs the fleet under FeMux with the given fault plan installed (both
+/// the engine stream via `SimConfig` and the forecaster stream via
+/// `FemuxPolicy::with_faults`).
+fn run(
+    trace: &Trace,
+    model: &Arc<FemuxModel>,
+    plan: Option<FaultConfig>,
+) -> FleetOutcome {
+    let cfg = SimConfig {
+        respect_min_scale: false,
+        faults: plan.clone(),
+        ..SimConfig::default()
+    };
+    run_fleet_auto(trace, &cfg, |_, app| {
+        Box::new(match &plan {
+            Some(p) => FemuxPolicy::with_faults(
+                Arc::clone(model),
+                0.5,
+                p.forecast_faults(app.id),
+            ),
+            None => FemuxPolicy::new(Arc::clone(model), 0.5),
+        })
+    })
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_thread_counts() {
+    let _lock = TEST_LOCK.lock().expect("test lock");
+    let trace = fleet();
+    let model = model(&trace);
+    let plan = FaultConfig::uniform(7, 0.05);
+    let sweep = |threads: usize| {
+        let _threads = femux_par::override_threads(threads);
+        let _g = femux_obs::scoped(true);
+        let out = run(&trace, &model, Some(plan.clone()));
+        let report = femux_obs::collect();
+        (out, report.metrics_json(), report.chrome_trace_json())
+    };
+    let (out_1, metrics_1, trace_1) = sweep(1);
+    let (out_8, metrics_8, trace_8) = sweep(8);
+    assert!(
+        out_1.fault_totals.total() > 0,
+        "a 5% plan must inject faults"
+    );
+    assert_eq!(
+        format!("{:?}", (&out_1.total, &out_1.per_app, &out_1.fault_totals)),
+        format!("{:?}", (&out_8.total, &out_8.per_app, &out_8.fault_totals)),
+        "fault plans must replay identically at any thread count"
+    );
+    assert_eq!(metrics_1, metrics_8, "metrics must be thread-invariant");
+    assert_eq!(trace_1, trace_8, "trace export must be thread-invariant");
+}
+
+#[test]
+fn zero_rate_plan_is_byte_identical_to_no_fault_layer() {
+    let _lock = TEST_LOCK.lock().expect("test lock");
+    let trace = fleet();
+    let model = model(&trace);
+    let clean = run(&trace, &model, None);
+    let zeroed = {
+        let _g = femux_obs::scoped(false);
+        let out = run(&trace, &model, Some(FaultConfig::off(7)));
+        let report = femux_obs::collect();
+        assert!(
+            !report.counters.keys().any(|k| k.starts_with("fault.")),
+            "a zero-rate plan must emit no fault telemetry"
+        );
+        out
+    };
+    assert_eq!(zeroed.fault_totals.total(), 0);
+    assert_eq!(
+        format!("{:?}", (&clean.total, &clean.per_app)),
+        format!("{:?}", (&zeroed.total, &zeroed.per_app)),
+        "zero-rate plan must not perturb the simulation"
+    );
+}
+
+#[test]
+fn telemetry_counts_every_injection_exactly_once() {
+    let _lock = TEST_LOCK.lock().expect("test lock");
+    let trace = fleet();
+    let model = model(&trace);
+    let _g = femux_obs::scoped(false);
+    let out = run(&trace, &model, Some(FaultConfig::uniform(7, 0.05)));
+    let report = femux_obs::collect();
+    let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("fault.pod_crashes"), out.fault_totals.pod_crashes);
+    assert_eq!(
+        counter("fault.cold_stragglers"),
+        out.fault_totals.cold_stragglers
+    );
+    assert_eq!(
+        counter("fault.actuation_delays"),
+        out.fault_totals.actuation_delays
+    );
+    assert_eq!(
+        counter("fault.actuation_drops"),
+        out.fault_totals.actuation_drops
+    );
+    assert_eq!(
+        counter("fault.report_losses"),
+        out.fault_totals.report_losses
+    );
+    assert_eq!(
+        counter("fault.forecast_faults"),
+        out.fault_totals.forecast_faults
+    );
+}
+
+#[test]
+fn higher_rates_inject_more_and_still_complete() {
+    let _lock = TEST_LOCK.lock().expect("test lock");
+    let trace = fleet();
+    let model = model(&trace);
+    let low = run(&trace, &model, Some(FaultConfig::uniform(7, 0.0)));
+    let high = run(&trace, &model, Some(FaultConfig::uniform(7, 0.1)));
+    assert_eq!(low.fault_totals.total(), 0);
+    assert!(high.fault_totals.total() > 0);
+    assert_ne!(
+        format!("{:?}", low.total),
+        format!("{:?}", high.total),
+        "a 10% fault plan must actually perturb the fleet"
+    );
+    for rec in &high.per_app {
+        assert!(rec.allocated_gb_seconds.is_finite());
+        assert!(rec.wasted_gb_seconds.is_finite());
+        assert!(rec.service_seconds.is_finite());
+    }
+}
