@@ -96,6 +96,17 @@ impl Drop for ObsSession {
 }
 
 #[cfg(test)]
+impl ObsSession {
+    fn disarm_for_tests(mut self) {
+        self.metrics_out = None;
+        self.trace_out = None;
+        femux_obs::set_enabled(false);
+        femux_obs::set_events(false);
+        femux_obs::set_profiling(false);
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Mutex;
@@ -133,16 +144,5 @@ mod tests {
         assert!(s.metrics_out.is_none() && s.trace_out.is_none());
         drop(s);
         assert!(!femux_obs::enabled());
-    }
-}
-
-#[cfg(test)]
-impl ObsSession {
-    fn disarm_for_tests(mut self) {
-        self.metrics_out = None;
-        self.trace_out = None;
-        femux_obs::set_enabled(false);
-        femux_obs::set_events(false);
-        femux_obs::set_profiling(false);
     }
 }

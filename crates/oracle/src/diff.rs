@@ -1,0 +1,214 @@
+//! Structural comparison of engine and oracle results.
+//!
+//! Equality is **exact**: every `f64` must match bit-for-bit (fault-free
+//! runs never produce `NaN`, so `==` is the right comparison). A
+//! divergence names the first observable that differs and, for series,
+//! the first divergent interval index and its wall-clock tick — the
+//! "first divergent tick" half of a minimal counterexample.
+
+use femux_sim::SimResult;
+
+/// First observed disagreement between the engine and the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Observable that differs (`"costs.cold_starts"`,
+    /// `"avg_concurrency"`, `"pod_counts"`, `"scale_events"`, …).
+    pub observable: String,
+    /// First differing series index, when the observable is a series.
+    pub index: Option<usize>,
+    /// Simulated time of the first divergence, when derivable from the
+    /// index (an interval boundary), in ms.
+    pub at_ms: Option<u64>,
+    /// Engine-side value, rendered.
+    pub engine: String,
+    /// Oracle-side value, rendered.
+    pub oracle: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} diverges", self.observable)?;
+        if let Some(i) = self.index {
+            write!(f, " at index {i}")?;
+        }
+        if let Some(ms) = self.at_ms {
+            write!(f, " (t = {ms} ms)")?;
+        }
+        write!(f, ": engine {} vs oracle {}", self.engine, self.oracle)
+    }
+}
+
+fn scalar(
+    observable: &str,
+    engine: impl std::fmt::Debug,
+    oracle: impl std::fmt::Debug,
+) -> Divergence {
+    Divergence {
+        observable: observable.to_string(),
+        index: None,
+        at_ms: None,
+        engine: format!("{engine:?}"),
+        oracle: format!("{oracle:?}"),
+    }
+}
+
+/// First index where two equally-long series differ, or a length
+/// mismatch. `interval_ms` converts indices to boundary times.
+fn series<T: PartialEq + std::fmt::Debug>(
+    observable: &str,
+    a: &[T],
+    b: &[T],
+    interval_ms: u64,
+) -> Option<Divergence> {
+    if a.len() != b.len() {
+        return Some(Divergence {
+            observable: format!("{observable}.len"),
+            index: None,
+            at_ms: None,
+            engine: a.len().to_string(),
+            oracle: b.len().to_string(),
+        });
+    }
+    let i = a.iter().zip(b).position(|(x, y)| x != y)?;
+    Some(Divergence {
+        observable: observable.to_string(),
+        index: Some(i),
+        at_ms: Some((i as u64 + 1) * interval_ms),
+        engine: format!("{:?}", a[i]),
+        oracle: format!("{:?}", b[i]),
+    })
+}
+
+/// Compares every observable of two results; `None` means exact
+/// agreement. `interval_ms` is the scaling interval both ran at (used
+/// to timestamp series divergences and reconstruct scale events).
+pub fn compare_results(
+    engine: &SimResult,
+    oracle: &SimResult,
+    interval_ms: u64,
+) -> Option<Divergence> {
+    let e = &engine.costs;
+    let o = &oracle.costs;
+    if e.invocations != o.invocations {
+        return Some(scalar(
+            "costs.invocations",
+            e.invocations,
+            o.invocations,
+        ));
+    }
+    if e.cold_starts != o.cold_starts {
+        return Some(scalar(
+            "costs.cold_starts",
+            e.cold_starts,
+            o.cold_starts,
+        ));
+    }
+    if e.cold_start_seconds != o.cold_start_seconds {
+        return Some(scalar(
+            "costs.cold_start_seconds",
+            e.cold_start_seconds,
+            o.cold_start_seconds,
+        ));
+    }
+    if e.exec_seconds != o.exec_seconds {
+        return Some(scalar(
+            "costs.exec_seconds",
+            e.exec_seconds,
+            o.exec_seconds,
+        ));
+    }
+    if e.service_seconds != o.service_seconds {
+        return Some(scalar(
+            "costs.service_seconds",
+            e.service_seconds,
+            o.service_seconds,
+        ));
+    }
+    if e.allocated_gb_seconds != o.allocated_gb_seconds {
+        return Some(scalar(
+            "costs.allocated_gb_seconds",
+            e.allocated_gb_seconds,
+            o.allocated_gb_seconds,
+        ));
+    }
+    if e.wasted_gb_seconds != o.wasted_gb_seconds {
+        return Some(scalar(
+            "costs.wasted_gb_seconds",
+            e.wasted_gb_seconds,
+            o.wasted_gb_seconds,
+        ));
+    }
+    if engine.initial_pods != oracle.initial_pods {
+        return Some(scalar(
+            "initial_pods",
+            engine.initial_pods,
+            oracle.initial_pods,
+        ));
+    }
+    series(
+        "avg_concurrency",
+        &engine.avg_concurrency,
+        &oracle.avg_concurrency,
+        interval_ms,
+    )
+    .or_else(|| {
+        series(
+            "peak_concurrency",
+            &engine.peak_concurrency,
+            &oracle.peak_concurrency,
+            interval_ms,
+        )
+    })
+    .or_else(|| {
+        series(
+            "arrivals",
+            &engine.arrivals,
+            &oracle.arrivals,
+            interval_ms,
+        )
+    })
+    .or_else(|| {
+        series(
+            "pod_counts",
+            &engine.pod_counts,
+            &oracle.pod_counts,
+            interval_ms,
+        )
+    })
+    .or_else(|| {
+        series(
+            "delays_secs",
+            &engine.delays_secs,
+            &oracle.delays_secs,
+            0,
+        )
+        .map(|mut d| {
+            d.at_ms = None; // per-request, not per-interval
+            d
+        })
+    })
+    .or_else(|| {
+        // Derived observable: the reconstructed scale-event timeline.
+        let ee = engine.scale_events(interval_ms);
+        let oe = oracle.scale_events(interval_ms);
+        if ee != oe {
+            let i = ee
+                .iter()
+                .zip(&oe)
+                .position(|(x, y)| x != y)
+                .unwrap_or_else(|| ee.len().min(oe.len()));
+            Some(Divergence {
+                observable: "scale_events".to_string(),
+                index: Some(i),
+                at_ms: ee
+                    .get(i)
+                    .or_else(|| oe.get(i))
+                    .map(|ev| ev.at_ms),
+                engine: format!("{:?}", ee.get(i)),
+                oracle: format!("{:?}", oe.get(i)),
+            })
+        } else {
+            None
+        }
+    })
+}

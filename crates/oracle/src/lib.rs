@@ -1,0 +1,56 @@
+//! Correctness oracle for the `femux-sim` discrete-event engine.
+//!
+//! Every number this reproduction reports flows through
+//! [`femux_sim::simulate_app`]. This crate pins what "correct" means for
+//! that engine, so later performance rewrites of the hot path can be
+//! diffed against an independent implementation instead of hand-picked
+//! unit tests:
+//!
+//! - [`engine::reference_simulate`]: a deliberately-slow, obviously
+//!   correct reference simulator. It advances time one millisecond at a
+//!   time with a straight-line state machine — no heap, no event
+//!   sorting, no piecewise integration — and must agree with the
+//!   production engine on **every observable to exact `f64` equality**:
+//!   all [`femux_rum::CostRecord`] fields, the per-interval
+//!   `avg_concurrency` / `peak_concurrency` / `arrivals` series,
+//!   `pod_counts`, per-request delays, and the reconstructed scale
+//!   events.
+//! - [`diff`]: structural comparison of two [`femux_sim::SimResult`]s
+//!   naming the first divergent observable and tick.
+//! - [`invariants`]: metamorphic properties that hold regardless of
+//!   implementation — cost conservation, scale-headroom monotonicity,
+//!   time- and id-shift invariance, the `min_scale` floor, and rate-0
+//!   fault-plan inertness.
+//! - [`sweep`]: a seeded property runner over synthetic IBM/Azure app
+//!   streams, parallelized through `femux_par`, that shrinks any
+//!   failure to a minimal counterexample (seed + app + first divergent
+//!   tick).
+//!
+//! # Contract
+//!
+//! The oracle covers **fault-free** runs (`SimConfig::faults == None`).
+//! Fault plans with every rate at zero are required to be byte-identical
+//! to fault-free runs, and that equivalence is checked engine-vs-engine
+//! by [`invariants::check_rate0_inert`]; non-zero fault rates change the
+//! engine's deterministic draw sequence and are pinned by
+//! `tests/fault_determinism.rs` instead.
+//!
+//! Exact `f64` agreement is achievable — not just approximate — because
+//! every accumulated quantity is either an integer-valued sum (pod-ms
+//! and concurrency-ms integrals of integer event times, exact in `f64`
+//! far below 2^53) or a sum of per-event terms (`cold_ms / 1000.0`,
+//! `duration_ms / 1000.0`) that both simulators add in the same
+//! arrival order. The reference engine therefore mirrors the production
+//! engine's *sequence of rounding operations* while sharing none of its
+//! event-driven structure.
+
+pub mod diff;
+pub mod engine;
+pub mod invariants;
+pub mod sweep;
+
+pub use diff::{compare_results, Divergence};
+pub use engine::reference_simulate;
+pub use sweep::{
+    run_sweep, Counterexample, PolicyKind, SweepConfig, SweepReport,
+};

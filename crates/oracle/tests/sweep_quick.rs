@@ -1,0 +1,10 @@
+//! The quick property sweep must come back clean, and its rendered
+//! report must be byte-identical at different thread counts.
+
+use femux_oracle::{run_sweep, SweepConfig};
+
+#[test]
+fn quick_sweep_is_clean() {
+    let report = run_sweep(&SweepConfig::quick(0x04AC1E));
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -6,16 +6,33 @@
 //! at fixed intervals, and accounting cold starts, allocated and wasted
 //! GB-seconds, and service times into a [`CostRecord`].
 //!
-//! Semantics (following §4.3.5 and prior-work conventions):
+//! Semantics (following §4.3.5 and prior-work conventions; this list is
+//! the contract the `femux-oracle` reference simulator pins — any edit
+//! here must be mirrored there):
 //!
 //! - A request arriving when warm capacity (warm pods × per-pod
-//!   concurrency) can absorb it executes immediately. Otherwise it pays
-//!   the cold-start latency while a fresh pod initializes; that pod is
-//!   protected from removal until the end of the interval (and until the
-//!   request finishes).
+//!   concurrency) can absorb the requests *executing on warm pods*
+//!   executes immediately. Requests still pinned to a warming pod do
+//!   not count against warm capacity.
+//! - Otherwise the request queues on the soonest-warm reactively
+//!   spawned pod that still has spare per-pod concurrency, paying the
+//!   pod's remaining warm-up as its cold-start wait. Only when no such
+//!   pod exists does it spawn a fresh pod and pay the full cold-start
+//!   latency. Either way the request counts as a cold start (it waited
+//!   on pod provisioning) and the pod is protected from removal until
+//!   the end of the interval (and until the request finishes).
 //! - Pods requested proactively by the policy become warm after the
 //!   cold-start latency but requests never wait on them unless they are
-//!   warm in time.
+//!   warm in time (AWS-style provisioned capacity: not routable until
+//!   ready).
+//! - `span_ms` bounds the replay: invocations at or after the span are
+//!   never replayed (the train/test split depends on this); requests
+//!   admitted before the span keep their pods alive until they finish
+//!   and that overhang is accounted in allocation.
+//! - When the span is not a whole number of intervals, the partial tail
+//!   interval is closed into `avg_concurrency`/`peak_concurrency`/
+//!   `arrivals` with a pro-rated divisor (`span - last tick`). No
+//!   policy ever observes it and no fault draw applies to it.
 //! - Scale-down happens only at interval boundaries, never below the
 //!   number of pods needed by in-flight requests, the protected pods, or
 //!   the user's minimum scale.
@@ -99,7 +116,7 @@ impl Default for SimConfig {
 }
 
 /// Result of simulating one application.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Accumulated costs.
     pub costs: CostRecord,
@@ -109,10 +126,23 @@ pub struct SimResult {
     /// Average concurrency per interval, as observed by the policy.
     /// Intervals whose report was lost to an injected fault hold `NaN`
     /// (the policy saw a missing report; [`CostRecord`]s and RUM are
-    /// never computed from this series).
+    /// never computed from this series). A span that is not a whole
+    /// number of intervals contributes one final pro-rated sample that
+    /// no policy observed.
     pub avg_concurrency: Vec<f64>,
-    /// Pod-count samples at each interval boundary.
+    /// Peak instantaneous concurrency per interval (queued requests
+    /// included), aligned with `avg_concurrency`.
+    pub peak_concurrency: Vec<f64>,
+    /// Invocation arrivals per interval, aligned with
+    /// `avg_concurrency`.
+    pub arrivals: Vec<f64>,
+    /// Pod-count samples at each interval boundary (the partial tail
+    /// interval has no boundary decision, so no sample).
     pub pod_counts: Vec<usize>,
+    /// Pod count at t = 0 (the min-scale floor). [`Self::scale_events`]
+    /// diffs the timeline against this baseline, so a min-scale app
+    /// does not report a phantom 0 → min_scale scale-up.
+    pub initial_pods: usize,
     /// Faults injected into this app's run (all zero when fault-free).
     pub faults: FaultStats,
 }
@@ -142,7 +172,7 @@ impl SimResult {
     /// interval the simulation ran at.
     pub fn scale_events(&self, interval_ms: u64) -> Vec<ScaleEvent> {
         let mut events = Vec::new();
-        let mut prev = 0usize;
+        let mut prev = self.initial_pods;
         for (i, &count) in self.pod_counts.iter().enumerate() {
             if count != prev {
                 events.push(ScaleEvent {
@@ -161,6 +191,14 @@ impl SimResult {
 struct Pod {
     warm_at: u64,
     keep_until: u64,
+    /// Requests pinned to this pod while it warms. Only meaningful
+    /// while `warm_at` is in the future: once warm, the pod's load is
+    /// tracked by the aggregate in-flight pool like every other pod's.
+    queued: u64,
+    /// Whether arrivals may queue on this pod while it warms. True for
+    /// reactively spawned cold-start pods, false for proactive spawns
+    /// (not routable until ready) and min-scale pods.
+    joinable: bool,
 }
 
 /// Internal integrator state.
@@ -222,21 +260,74 @@ impl Engine<'_> {
             * self.concurrency
     }
 
+    /// Requests currently pinned to still-warming pods. They hold no
+    /// warm capacity, so admission must not count them against it.
+    fn waiting_on_warming(&self, t: u64) -> u64 {
+        self.pods
+            .iter()
+            .filter(|p| p.warm_at > t)
+            .map(|p| p.queued)
+            .sum()
+    }
+
+    /// The soonest-warm joinable warming pod with spare per-pod
+    /// concurrency (ties broken by pod-vector order, deterministic).
+    fn joinable_pod(&self, t: u64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, p) in self.pods.iter().enumerate() {
+            if p.joinable && p.warm_at > t && p.queued < self.concurrency
+            {
+                match best {
+                    Some(b) if self.pods[b].warm_at <= p.warm_at => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        best
+    }
+
     fn on_arrival(&mut self, inv: &Invocation, interval_end: u64) {
         let t = inv.start_ms;
         self.advance(t);
         self.interval_arrivals += 1.0;
         let warm = self.warm_capacity(t);
+        let executing =
+            self.inflight.len() as u64 - self.waiting_on_warming(t);
         let dur = inv.duration_ms as u64;
-        let delay_ms = if (self.inflight.len() as u64) < warm {
+        let delay_ms = if executing < warm {
             0u64
+        } else if let Some(slot) = self.joinable_pod(t) {
+            // Queue on an already-warming cold-start pod: the request
+            // pays the pod's remaining warm-up as its cold-start wait
+            // instead of spawning a pod of its own (a burst of k
+            // requests with per-pod concurrency ≥ k shares one pod).
+            let pod = &mut self.pods[slot];
+            let wait = pod.warm_at - t;
+            let end = pod.warm_at + dur;
+            pod.queued += 1;
+            pod.keep_until = pod.keep_until.max(interval_end).max(end);
+            self.costs.cold_starts += 1;
+            self.costs.cold_start_seconds += wait as f64 / 1_000.0;
+            femux_obs::counter_add("sim.cold_starts", 1);
+            femux_obs::observe("sim.cold_start_wait_ms", wait);
+            if let Some(track) = &self.track {
+                femux_obs::span(
+                    track,
+                    "sim",
+                    "cold-start",
+                    t * 1_000,
+                    wait * 1_000,
+                    &[("wait_ms", wait)],
+                );
+            }
+            wait
         } else {
             // Cold start: spawn a pod now; it is protected until the end
             // of the current interval and until this request completes.
             let mut cold = self.cold_ms as u64;
-            // One straggler draw per cold start (fault determinism
-            // contract): the request pays the inflated latency and the
-            // cold-start seconds account for it.
+            // One straggler draw per cold-start pod spawn (fault
+            // determinism contract): the request pays the inflated
+            // latency and the cold-start seconds account for it.
             if let Some(faults) = self.faults.as_mut() {
                 if let Some(factor) = faults.straggle() {
                     let inflated =
@@ -252,6 +343,8 @@ impl Engine<'_> {
             self.pods.push(Pod {
                 warm_at: t + cold,
                 keep_until: interval_end.max(end),
+                queued: 1,
+                joinable: true,
             });
             self.costs.cold_starts += 1;
             self.costs.cold_start_seconds += cold as f64 / 1_000.0;
@@ -319,9 +412,15 @@ impl Engine<'_> {
                     // start, dropping warm capacity until then. The
                     // restart itself is not a request-visible cold
                     // start — requests that find no warm capacity pay
-                    // (and account) their own.
+                    // (and account) their own. Restarting pods accept
+                    // no joiners and shed any stale warming queue
+                    // (requests already admitted keep their original
+                    // completion times — the crash never re-delays
+                    // admitted work, a deliberate simplification).
                     pod.warm_at = t + cold;
                     pod.keep_until = pod.keep_until.max(t);
+                    pod.queued = 0;
+                    pod.joinable = false;
                     crashed += 1;
                 }
             }
@@ -411,6 +510,8 @@ impl Engine<'_> {
                 self.pods.push(Pod {
                     warm_at: t + cold,
                     keep_until: t,
+                    queued: 0,
+                    joinable: false,
                 });
             }
             let spawned = self.pods.len() - current;
@@ -522,6 +623,8 @@ pub fn simulate_app(
             .map(|_| Pod {
                 warm_at: 0,
                 keep_until: 0,
+                queued: 0,
+                joinable: false,
             })
             .collect(),
         inflight: BinaryHeap::new(),
@@ -542,14 +645,22 @@ pub fn simulate_app(
         pending_actuation: Vec::new(),
     };
 
+    // `span_ms` bounds the replay: invocations at or after the span
+    // boundary belong to the next window (train/test splits rely on
+    // this) and are never served here. Invocations are time-sorted (an
+    // `AppRecord` contract), so the replay prefix is a partition point.
+    let n_replay = app
+        .invocations
+        .partition_point(|i| i.start_ms < span_ms);
+    let replay = &app.invocations[..n_replay];
     let mut next_tick = cfg.interval_ms;
     let mut idx = 0usize;
-    while idx < app.invocations.len() || next_tick <= span_ms {
-        let arrival = app.invocations.get(idx).map(|i| i.start_ms);
+    while idx < replay.len() || next_tick <= span_ms {
+        let arrival = replay.get(idx).map(|i| i.start_ms);
         match arrival {
             Some(a) if a < next_tick || next_tick > span_ms => {
                 let interval_end = next_tick.min(span_ms);
-                let inv = app.invocations[idx];
+                let inv = replay[idx];
                 eng.on_arrival(&inv, interval_end);
                 idx += 1;
             }
@@ -558,6 +669,23 @@ pub fn simulate_app(
                 next_tick += cfg.interval_ms;
             }
         }
+    }
+    // Close the partial tail interval of a span that is not a whole
+    // number of intervals: concurrency, peak, and arrivals accrued
+    // after the last tick are reported with a pro-rated divisor. No
+    // policy observes this sample and no fault draw applies (report
+    // loss models a lost *policy* report).
+    let last_tick = next_tick - cfg.interval_ms;
+    if last_tick < span_ms {
+        eng.advance(span_ms);
+        let tail_ms = (span_ms - last_tick) as f64;
+        let avg = eng.interval_conc_ms / tail_ms;
+        eng.avg_concurrency.push(avg);
+        eng.peak_concurrency.push(eng.interval_peak);
+        eng.arrivals.push(eng.interval_arrivals);
+        eng.interval_conc_ms = 0.0;
+        eng.interval_peak = eng.inflight.len() as f64;
+        eng.interval_arrivals = 0.0;
     }
     // Drain remaining in-flight work.
     let last_end = eng
@@ -580,7 +708,10 @@ pub fn simulate_app(
         costs: eng.costs,
         delays_secs: eng.delays,
         avg_concurrency: eng.avg_concurrency,
+        peak_concurrency: eng.peak_concurrency,
+        arrivals: eng.arrivals,
         pod_counts: eng.pod_counts,
+        initial_pods: min_scale,
         faults: eng
             .faults
             .map(|f| f.stats)
@@ -841,6 +972,75 @@ mod tests {
             assert!(w[0].at_ms < w[1].at_ms);
             assert!(w[0].to == w[1].from);
         }
+    }
+
+    #[test]
+    fn min_scale_app_emits_no_phantom_scale_event() {
+        // A min-scale-2 app with no traffic holds 2 pods the whole
+        // span: the timeline never changes, so no scale event may be
+        // reported (58.8 % of the calibrated fleet runs min_scale ≥ 1).
+        let app = app_with(vec![], 1, 2);
+        let res = simulate_app(&app, &mut ZeroPolicy, 180_000, &cfg());
+        assert_eq!(res.initial_pods, 2);
+        assert!(res.pod_counts.iter().all(|&p| p == 2));
+        assert_eq!(
+            res.scale_events(60_000),
+            vec![],
+            "constant min-scale timeline must emit no events"
+        );
+    }
+
+    #[test]
+    fn replay_is_clamped_to_span() {
+        // The second invocation starts past the span boundary; it
+        // belongs to the next window and must not be served, cost, or
+        // keep pods alive here.
+        let app =
+            app_with(vec![inv(10_000, 100), inv(400_000, 100)], 1, 0);
+        let res = simulate_app(&app, &mut ZeroPolicy, 120_000, &cfg());
+        assert_eq!(res.costs.invocations, 1);
+        assert_eq!(res.costs.cold_starts, 1);
+        assert!((res.costs.exec_seconds - 0.1).abs() < 1e-12);
+        // An invocation at exactly the boundary is also out of scope.
+        let edge = app_with(vec![inv(120_000, 100)], 1, 0);
+        let res = simulate_app(&edge, &mut ZeroPolicy, 120_000, &cfg());
+        assert_eq!(res.costs.invocations, 0);
+    }
+
+    #[test]
+    fn burst_queues_on_warming_pod() {
+        // Three near-simultaneous arrivals with per-pod concurrency 100
+        // share the one pod the first arrival spawns; the later two pay
+        // the pod's remaining warm-up, not a fresh pod each.
+        let burst: Vec<Invocation> =
+            (0..3).map(|k| inv(10_000 + k, 200)).collect();
+        let app = app_with(burst, 100, 0);
+        let res = simulate_app(&app, &mut ZeroPolicy, 60_000, &cfg());
+        assert_eq!(res.costs.cold_starts, 3);
+        assert_eq!(res.delays_secs, vec![0.808, 0.807, 0.806]);
+        // One 1-GB pod alive from 10 s to the 60 s interval end — three
+        // pods would show ~150 GB-s.
+        assert!(
+            (res.costs.allocated_gb_seconds - 50.0).abs() < 1.0,
+            "allocated {}",
+            res.costs.allocated_gb_seconds
+        );
+    }
+
+    #[test]
+    fn odd_span_closes_prorated_tail_interval() {
+        // Span 90 s at a 60 s interval: one tick at 60 s plus a 30 s
+        // tail. A request executing 70 s → 90 s contributes 20 s of
+        // concurrency to the tail, averaged over the 30 s divisor.
+        let app = app_with(vec![inv(70_000, 20_000)], 1, 1);
+        let res = simulate_app(&app, &mut ZeroPolicy, 90_000, &cfg());
+        assert_eq!(res.avg_concurrency.len(), 2);
+        assert_eq!(res.peak_concurrency.len(), 2);
+        assert_eq!(res.arrivals.len(), 2);
+        assert!((res.avg_concurrency[1] - 20.0 / 30.0).abs() < 1e-12);
+        assert_eq!(res.arrivals[1], 1.0);
+        // The tick-aligned sample stream is untouched.
+        assert_eq!(res.pod_counts.len(), 1);
     }
 
     fn fault_cfg(faults: femux_fault::FaultConfig) -> SimConfig {
