@@ -9,7 +9,7 @@
 
 use femux_forecast::lstm::{LstmConfig, LstmForecaster};
 use femux_forecast::Forecaster;
-use femux_sim::policy::{PolicyCtx, ScalingPolicy};
+use femux_sim::policy::{IdleRun, IdleTicks, PolicyCtx, ScalingPolicy};
 
 /// Aquatope's per-application LSTM policy.
 pub struct AquatopePolicy {
@@ -70,6 +70,32 @@ impl ScalingPolicy for AquatopePolicy {
         let predicted_conc = (predicted_arrivals * conc_per_arrival)
             .max(1.0 / ctx.config.concurrency as f64);
         ctx.pods_for_concurrency(predicted_conc)
+    }
+
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        let ctx = idle.ctx(i, current_pods);
+        let n = ctx.arrivals.len();
+        let settled = n >= self.history
+            && ctx.arrivals[n - self.history..]
+                .iter()
+                .all(|&v| v == 0.0);
+        let target = self.target_pods(&ctx);
+        if !settled {
+            return IdleRun { target, ticks: 1 };
+        }
+        // Saturated all-zero window: the (pure) LSTM sees an identical
+        // input on every later tick of the stretch, so the decision
+        // repeats with no state or telemetry to advance.
+        IdleRun {
+            target,
+            ticks: max_ticks,
+        }
     }
 }
 

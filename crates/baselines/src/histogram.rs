@@ -8,7 +8,7 @@
 //! keep-alive. This is the adaptive-keep-alive ancestor FeMux's related
 //! work section positions against.
 
-use femux_sim::policy::{PolicyCtx, ScalingPolicy};
+use femux_sim::policy::{IdleRun, IdleTicks, PolicyCtx, ScalingPolicy};
 
 /// Idle-time histogram with minute-granularity bins.
 #[derive(Debug, Clone)]
@@ -145,6 +145,63 @@ impl ScalingPolicy for HybridHistogramPolicy {
         } else {
             0
         }
+    }
+
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        let ctx = idle.ctx(i, current_pods);
+        let k = ctx.arrivals.len();
+        if k == 0 || ctx.arrivals[k - 1] != 0.0 {
+            // The newest interval had activity (e.g. the accrued close
+            // that opens a batch): this tick records a gap and moves
+            // `last_active_interval`, so take it per-tick.
+            return IdleRun {
+                target: self.target_pods(&ctx),
+                ticks: 1,
+            };
+        }
+        // Idle tick: `target_pods` leaves the histogram untouched and
+        // decides purely from the elapsed idle time, which grows by one
+        // interval per tick. Probe the (pure) keep decision forward and
+        // batch the ticks on which it cannot change.
+        let target = self.target_pods(&ctx);
+        let Some(last) = self.last_active_interval else {
+            // Never active: the decision is 0 until first activity.
+            return IdleRun {
+                target,
+                ticks: max_ticks,
+            };
+        };
+        let interval_min = ctx.interval_ms as f64 / 60_000.0;
+        let representable = self.histogram.representable();
+        let (head, tail) = if representable {
+            (self.histogram.quantile(0.05), self.histogram.quantile(0.99))
+        } else {
+            (0.0, 0.0)
+        };
+        let keep_at = |units: usize| -> bool {
+            let idle_min = units as f64 * interval_min;
+            if representable {
+                idle_min <= tail
+                    && (idle_min + self.prewarm_margin_min >= head
+                        || idle_min < self.prewarm_margin_min)
+            } else {
+                idle_min <= self.fallback_keepalive_min
+            }
+        };
+        let units0 = k - 1 - last;
+        let keep0 = keep_at(units0);
+        let mut run = 1u64;
+        while run < max_ticks && keep_at(units0 + run as usize) == keep0
+        {
+            run += 1;
+        }
+        IdleRun { target, ticks: run }
     }
 }
 

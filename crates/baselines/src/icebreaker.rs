@@ -10,7 +10,7 @@
 
 use femux_forecast::fft::FftForecaster;
 use femux_forecast::Forecaster;
-use femux_sim::policy::{PolicyCtx, ScalingPolicy};
+use femux_sim::policy::{IdleRun, IdleTicks, PolicyCtx, ScalingPolicy};
 
 /// IceBreaker's FFT-driven scaling policy.
 ///
@@ -75,6 +75,38 @@ impl ScalingPolicy for IceBreakerPolicy {
                 1.0 / ctx.config.concurrency as f64,
             );
         ctx.pods_for_concurrency(predicted_conc)
+    }
+
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        let ctx = idle.ctx(i, current_pods);
+        let n = ctx.arrivals.len();
+        let settled = n >= self.history
+            && ctx.arrivals[n - self.history..]
+                .iter()
+                .all(|&v| v == 0.0);
+        let target = self.target_pods(&ctx);
+        if !settled {
+            // The forecast window is still growing or still contains
+            // live samples: each tick feeds the FFT a different input.
+            return IdleRun { target, ticks: 1 };
+        }
+        // Saturated all-zero window: every later tick of the stretch
+        // hands the (pure) FFT a byte-identical window, so the decision
+        // repeats and only the forecast counter advances.
+        femux_obs::counter_add(
+            "baselines.icebreaker.fft_forecasts",
+            max_ticks - 1,
+        );
+        IdleRun {
+            target,
+            ticks: max_ticks,
+        }
     }
 }
 

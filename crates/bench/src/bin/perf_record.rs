@@ -1,0 +1,261 @@
+//! Records the committed simulator performance baseline
+//! (`BENCH_sim.json` at the repository root).
+//!
+//! Seeded fleets — a dense IBM-like fleet, a sparse/idle-heavy 62-day
+//! IBM-like fleet, and a bursty Azure-like fleet — run through both the
+//! event-queue engine (`simulate_app`) and the frozen pre-event-queue
+//! per-tick reference (`simulate_app_tickwise`), per policy, recording
+//! wall time and simulated invocations/second. Case order is fixed, so
+//! the document layout is deterministic; only the two wall-derived
+//! fields vary between machines.
+//!
+//! Usage: `perf_record [--quick] [--schema-only] [--out PATH]
+//! [--check PATH]`
+//!
+//! - `--quick`: smaller fleets (CI-sized; identical case labels).
+//! - `--schema-only`: skip the simulations and zero the wall-derived
+//!   fields — everything left is deterministic, so two runs diff clean
+//!   at any `FEMUX_THREADS` setting.
+//! - `--out PATH`: write the document to PATH instead of stdout.
+//! - `--check PATH`: validate that the document at PATH (the committed
+//!   baseline) carries the current schema version, every expected
+//!   (fleet, policy, engine) case, and the wall fields; exits nonzero
+//!   on drift without recording anything.
+
+use std::fmt::Write as _;
+
+use femux_sim::{
+    simulate_app, simulate_app_tickwise, KeepAlivePolicy,
+    KnativeDefaultPolicy, ScalingPolicy, SimConfig,
+};
+use femux_trace::synth::azure::{self, AzureFleetConfig};
+use femux_trace::synth::ibm::{self, IbmFleetConfig};
+use femux_trace::types::Trace;
+
+const SCHEMA: &str = "femux-bench-sim/v1";
+const ENGINES: [&str; 2] = ["event", "tickwise"];
+const POLICIES: [&str; 2] = ["keepalive-10min", "knative-default"];
+
+fn build_policy(name: &str) -> Box<dyn ScalingPolicy> {
+    match name {
+        "keepalive-10min" => Box::new(KeepAlivePolicy::ten_minutes()),
+        "knative-default" => Box::new(KnativeDefaultPolicy),
+        other => unreachable!("unknown policy {other}"),
+    }
+}
+
+fn fleets(quick: bool) -> Vec<(&'static str, Trace)> {
+    let dense = ibm::generate(&IbmFleetConfig {
+        n_apps: if quick { 30 } else { 120 },
+        span_days: 3,
+        seed: 77,
+        max_invocations_per_app: 20_000,
+        rate_scale: 0.05,
+    });
+    // The headline case: a 62-day IBM-scale sparse fleet whose wall
+    // time is dominated by idle intervals.
+    let sparse = ibm::generate(&IbmFleetConfig {
+        n_apps: if quick { 8 } else { 40 },
+        span_days: 62,
+        seed: 1_977,
+        max_invocations_per_app: 500,
+        rate_scale: 0.005,
+    });
+    let bursty = azure::generate(&AzureFleetConfig {
+        n_apps: if quick { 15 } else { 60 },
+        days: 4,
+        seed: 0xA2E,
+        rate_scale: 0.5,
+    })
+    .to_trace();
+    vec![
+        ("ibm-dense-3d", dense),
+        ("ibm-sparse-62d", sparse),
+        ("azure-bursty-4d", bursty),
+    ]
+}
+
+struct CaseRecord {
+    fleet: &'static str,
+    policy: &'static str,
+    engine: &'static str,
+    apps: usize,
+    invocations: u64,
+    span_ms: u64,
+    wall_ms: f64,
+    inv_per_sec: f64,
+}
+
+fn run_case(
+    fleet: &'static str,
+    trace: &Trace,
+    policy: &'static str,
+    engine: &'static str,
+    schema_only: bool,
+) -> CaseRecord {
+    let cfg = SimConfig::default();
+    let (wall_ms, inv_per_sec) = if schema_only {
+        (0.0, 0.0)
+    } else {
+        let t0 = femux_obs::walltime::monotonic_micros();
+        let mut simulated = 0u64;
+        for app in &trace.apps {
+            let mut p = build_policy(policy);
+            let res = match engine {
+                "event" => {
+                    simulate_app(app, p.as_mut(), trace.span_ms, &cfg)
+                }
+                _ => simulate_app_tickwise(
+                    app,
+                    p.as_mut(),
+                    trace.span_ms,
+                    &cfg,
+                ),
+            };
+            simulated += res.costs.invocations;
+        }
+        assert_eq!(
+            simulated,
+            trace.total_invocations(),
+            "conservation violated in perf case"
+        );
+        let secs = femux_obs::walltime::elapsed_secs(t0);
+        (secs * 1_000.0, simulated as f64 / secs.max(1e-9))
+    };
+    CaseRecord {
+        fleet,
+        policy,
+        engine,
+        apps: trace.apps.len(),
+        invocations: trace.total_invocations(),
+        span_ms: trace.span_ms,
+        wall_ms,
+        inv_per_sec,
+    }
+}
+
+fn render(cases: &[CaseRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    out.push_str("  \"cases\": [");
+    for (i, c) in cases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"fleet\": \"{}\", \"policy\": \"{}\", \
+             \"engine\": \"{}\", \"apps\": {}, \"invocations\": {}, \
+             \"span_ms\": {}, \"wall_ms\": {:.3}, \
+             \"inv_per_sec\": {:.0}}}",
+            c.fleet,
+            c.policy,
+            c.engine,
+            c.apps,
+            c.invocations,
+            c.span_ms,
+            c.wall_ms,
+            c.inv_per_sec,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Validates the committed baseline's shape: schema version, one entry
+/// per expected (fleet, policy, engine) case, wall fields present.
+fn check(text: &str) -> Result<(), String> {
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("schema marker missing (expected {SCHEMA})"));
+    }
+    let fleet_names =
+        ["ibm-dense-3d", "ibm-sparse-62d", "azure-bursty-4d"];
+    let mut expected = 0;
+    for fleet in fleet_names {
+        for policy in POLICIES {
+            for engine in ENGINES {
+                expected += 1;
+                let needle = format!(
+                    "\"fleet\": \"{fleet}\", \"policy\": \"{policy}\", \
+                     \"engine\": \"{engine}\"",
+                );
+                if !text.contains(&needle) {
+                    return Err(format!("case missing: {needle}"));
+                }
+            }
+        }
+    }
+    for field in ["\"wall_ms\":", "\"inv_per_sec\":"] {
+        let n = text.matches(field).count();
+        if n != expected {
+            return Err(format!(
+                "{field} appears {n} times, expected {expected}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut quick = false;
+    let mut schema_only = false;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--schema-only" => schema_only = true,
+            "--out" => {
+                out_path = Some(args.next().expect("--out needs a path"));
+            }
+            "--check" => {
+                check_path =
+                    Some(args.next().expect("--check needs a path"));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match check(&text) {
+            Ok(()) => {
+                println!("{path}: schema {SCHEMA} ok");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("{path}: schema drift: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut cases = Vec::new();
+    for (fleet, trace) in fleets(quick) {
+        for policy in POLICIES {
+            for engine in ENGINES {
+                eprintln!("running {fleet} / {policy} / {engine} ...");
+                cases.push(run_case(
+                    fleet,
+                    &trace,
+                    policy,
+                    engine,
+                    schema_only,
+                ));
+            }
+        }
+    }
+    let doc = render(&cases);
+    debug_assert!(check(&doc).is_ok(), "self-check must pass");
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &doc)
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+}

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use femux_fault::{FaultStats, ForecastFate, ForecastFaults};
 use femux_features::Block;
 use femux_forecast::{Forecaster, ForecasterKind};
-use femux_sim::policy::{PolicyCtx, ScalingPolicy};
+use femux_sim::policy::{IdleRun, IdleTicks, PolicyCtx, ScalingPolicy};
 
 use crate::model::FemuxModel;
 
@@ -250,6 +250,52 @@ impl AppManager {
         fallback.forecast(&self.series[start..], horizon)
     }
 
+    /// Whether this manager draws from an injected forecaster-fault
+    /// stream. The draw-order contract (one fate per healthy forecast)
+    /// forbids closed-form step skipping while a stream is installed.
+    pub fn has_fault_stream(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// True when the forecast window is saturated and all-zero: every
+    /// further zero observation leaves the window byte-identical, so
+    /// consecutive forecasts are pure repeats of each other.
+    pub fn idle_window_settled(&self) -> bool {
+        let h = self.model.cfg.history;
+        h > 0
+            && self.series.len() >= h
+            && self.series[self.series.len() - h..]
+                .iter()
+                .all(|&v| v == 0.0)
+    }
+
+    /// Steps until the next block boundary (always ≥ 1 between
+    /// observations).
+    pub fn steps_until_block(&self) -> usize {
+        self.next_block_end.saturating_sub(self.series.len())
+    }
+
+    /// Advances `k` idle steps in closed form: exactly the state and
+    /// telemetry that `k` `(observe(0.0), forecast(_))` pairs would
+    /// produce when the window is settled
+    /// ([`Self::idle_window_settled`]), no fault stream is installed,
+    /// and no block boundary is crossed — the forecasts are pure
+    /// repeats (forecasters only mutate in `train`, a `femux-forecast`
+    /// contract), so only the series and the forecast counter move.
+    pub fn skip_idle_steps(&mut self, k: usize) {
+        if k == 0 {
+            return;
+        }
+        debug_assert!(self.faults.is_none());
+        debug_assert!(self.idle_window_settled());
+        debug_assert!(
+            self.series.len() + k < self.next_block_end,
+            "closed-form skip must not cross a block boundary"
+        );
+        self.series.resize(self.series.len() + k, 0.0);
+        femux_obs::counter_add("core.manager.forecasts", k as u64);
+    }
+
     /// Demotes the app to the moving-average fallback, charging an
     /// exponentially growing block penalty for repeat offenses.
     fn enter_fallback(&mut self) {
@@ -381,6 +427,35 @@ impl ScalingPolicy for FemuxPolicy {
         let target = (pred / self.utilization.clamp(0.05, 1.0))
             .max(ctx.inflight as f64);
         ctx.pods_for_concurrency(target)
+    }
+
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        // Take tick `i` with full per-tick semantics (ingest, forecast,
+        // possibly demote). If that leaves the manager in the settled
+        // all-zero fixed point, the following ticks are pure repeats up
+        // to the next block boundary and advance in closed form. The
+        // target never reads `current_pods`, so the run is safe under
+        // scale-out rate limiting.
+        let target = self.target_pods(&idle.ctx(i, current_pods));
+        if self.manager.has_fault_stream()
+            || !self.manager.idle_window_settled()
+        {
+            return IdleRun { target, ticks: 1 };
+        }
+        let extra = (max_ticks - 1).min(
+            self.manager.steps_until_block().saturating_sub(1) as u64,
+        );
+        self.manager.skip_idle_steps(extra as usize);
+        IdleRun {
+            target,
+            ticks: 1 + extra,
+        }
     }
 
     fn fault_stats(&self) -> FaultStats {

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use femux::manager::AppManager;
 use femux::model::FemuxModel;
-use femux_sim::policy::{PolicyCtx, ScalingPolicy};
+use femux_sim::policy::{IdleRun, IdleTicks, PolicyCtx, ScalingPolicy};
 
 use crate::kpa::{KpaConfig, KpaPolicy};
 
@@ -101,6 +101,56 @@ impl ScalingPolicy for FemuxKnativePolicy {
             }
             None => reactive,
         }
+    }
+
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        let ctx = idle.ctx(i, current_pods);
+        let total_ticks = ctx.avg_concurrency.len();
+        // A minute batch fires this tick (observe + fresh forecast):
+        // full per-tick semantics.
+        if self.ticks_seen + self.ticks_per_minute <= total_ticks {
+            return IdleRun {
+                target: self.target_pods(&ctx),
+                ticks: 1,
+            };
+        }
+        let to_batch = (self.ticks_seen + self.ticks_per_minute
+            - total_ticks) as u64;
+        let cap = max_ticks.min(to_batch);
+        if cap <= 1
+            || !self.kpa.stable_window_all_zero(ctx.avg_concurrency)
+            || !self.kpa.settled_for_zero(ctx.now_ms)
+        {
+            return IdleRun {
+                target: self.target_pods(&ctx),
+                ticks: 1,
+            };
+        }
+        // No minute boundary inside the run and the KPA sits in its
+        // settled scale-to-zero fixed point, so every per-tick decision
+        // is the held predictive target (or the reactive 0). The run is
+        // only taken when pods already sit at the engine-applied floor,
+        // making each skipped tick's inputs identical and the pod
+        // trajectory rate-limit-immune.
+        let target = match self.held_target_conc {
+            Some(conc) => ctx
+                .pods_for_concurrency(conc / self.target_utilization),
+            None => 0,
+        };
+        if current_pods != target.max(idle.min_pods) {
+            return IdleRun {
+                target: self.target_pods(&ctx),
+                ticks: 1,
+            };
+        }
+        self.kpa.skip_settled_ticks(cap, current_pods);
+        IdleRun { target, ticks: cap }
     }
 }
 

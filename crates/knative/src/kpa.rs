@@ -20,7 +20,7 @@
 //! recomputing from a gappy window (counted in
 //! `knative.kpa.held_targets`).
 
-use femux_sim::policy::{PolicyCtx, ScalingPolicy};
+use femux_sim::policy::{IdleRun, IdleTicks, PolicyCtx, ScalingPolicy};
 
 /// KPA tuning parameters (Knative defaults).
 #[derive(Debug, Clone)]
@@ -127,9 +127,130 @@ impl ScalingPolicy for KpaPolicy {
         self.last_target = target;
         target
     }
+
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        let ctx = idle.ctx(i, current_pods);
+        if !self.stable_window_all_zero(ctx.avg_concurrency) {
+            // Live samples still inside the stable window: per-tick.
+            return IdleRun {
+                target: self.target_pods(&ctx),
+                ticks: 1,
+            };
+        }
+        // An all-zero stable window (the panic window sits inside it)
+        // with nothing in flight: `decide` sees stable = panic = 0 and
+        // no fresh activity, at this tick and at every later tick of
+        // the stretch. Each branch below advances the corresponding
+        // per-tick decisions in closed form, counters included.
+        let step = ctx.interval_ms;
+        if let Some(since) = self.panicking_since {
+            let deadline = since + self.cfg.stable_window_ms;
+            if ctx.now_ms > deadline {
+                // Panic-exit tick (state reset): per-tick.
+                return IdleRun {
+                    target: self.target_pods(&ctx),
+                    ticks: 1,
+                };
+            }
+            // Panic mode without re-triggering holds `panic_pods` until
+            // a full stable window has passed since entry.
+            let k =
+                ((deadline - ctx.now_ms) / step + 1).min(max_ticks);
+            femux_obs::counter_add("knative.kpa.ticks", k);
+            self.last_target = self.panic_pods;
+            return IdleRun {
+                target: self.panic_pods,
+                ticks: k,
+            };
+        }
+        let grace_end =
+            self.last_activity_ms + self.cfg.scale_to_zero_grace_ms;
+        if ctx.now_ms < grace_end && current_pods > 0 {
+            // Scale-to-zero grace: hold one pod until the grace lapses.
+            // The implied trajectory is rate-limit-immune (1 ≤ current
+            // pods), so `current_pods > 0` holds for the whole run.
+            let k = (grace_end - ctx.now_ms)
+                .div_ceil(step)
+                .min(max_ticks);
+            femux_obs::counter_add("knative.kpa.ticks", k);
+            self.last_target = 1;
+            return IdleRun { target: 1, ticks: k };
+        }
+        self.last_target = 0;
+        if current_pods == 0 {
+            femux_obs::counter_add("knative.kpa.ticks", max_ticks);
+            return IdleRun {
+                target: 0,
+                ticks: max_ticks,
+            };
+        }
+        if idle.min_pods > 0 {
+            // The engine floor keeps pods above zero, so every tick of
+            // the stretch records a scale-to-zero decision.
+            femux_obs::counter_add("knative.kpa.ticks", max_ticks);
+            femux_obs::counter_add(
+                "knative.kpa.scale_to_zero_decisions",
+                max_ticks,
+            );
+            return IdleRun {
+                target: 0,
+                ticks: max_ticks,
+            };
+        }
+        // Pods drop to zero right after this tick; later ticks take the
+        // `current_pods == 0` arm above.
+        femux_obs::counter_add("knative.kpa.ticks", 1);
+        femux_obs::counter_add("knative.kpa.scale_to_zero_decisions", 1);
+        IdleRun { target: 0, ticks: 1 }
+    }
 }
 
 impl KpaPolicy {
+    /// True when every sample of the trailing stable window is exactly
+    /// zero (no live and no lost reports) — the precondition for any
+    /// closed-form idle advance.
+    pub(crate) fn stable_window_all_zero(&self, series: &[f64]) -> bool {
+        let window = (self.cfg.stable_window_ms / self.cfg.tick_ms)
+            .max(1) as usize;
+        let start = series.len().saturating_sub(window);
+        series[start..].iter().all(|&v| v == 0.0)
+    }
+
+    /// True when the policy is fully settled for scale-to-zero at
+    /// `now_ms`: not panicking and past the grace period, so `decide`
+    /// returns 0 with no state change — the deep-idle fixed point.
+    pub(crate) fn settled_for_zero(&self, now_ms: u64) -> bool {
+        self.panicking_since.is_none()
+            && now_ms.saturating_sub(self.last_activity_ms)
+                >= self.cfg.scale_to_zero_grace_ms
+    }
+
+    /// Advances `k` settled scale-to-zero ticks at a constant pod count
+    /// in closed form: exactly the counters and state that `k` per-tick
+    /// [`ScalingPolicy::target_pods`] calls would produce in that fixed
+    /// point. Returns the per-tick reactive target (0).
+    pub(crate) fn skip_settled_ticks(
+        &mut self,
+        k: u64,
+        pods_const: usize,
+    ) -> usize {
+        femux_obs::counter_add("knative.kpa.ticks", k);
+        if pods_const > 0 {
+            femux_obs::counter_add(
+                "knative.kpa.scale_to_zero_decisions",
+                k,
+            );
+        }
+        self.last_target = 0;
+        0
+    }
+
     fn decide(&mut self, ctx: &PolicyCtx<'_>) -> usize {
         let per_pod = (ctx.config.concurrency as f64
             * self.cfg.target_utilization)

@@ -4,11 +4,13 @@
 //! plus a fixed battery of adversarial hand-rolled apps (same-ms
 //! bursts, boundary-time arrivals, tick-crossing durations,
 //! invocations past the span end, zero-duration requests, min-scale
-//! floors) — through both [`femux_sim::simulate_app`] and
-//! [`crate::reference_simulate`] under every policy × interval
-//! combination, checks exact agreement and the metamorphic
-//! [`crate::invariants`], and shrinks any divergent case to a minimal
-//! counterexample (seed + app + first divergent tick).
+//! floors) — through [`femux_sim::simulate_app`],
+//! [`crate::reference_simulate`], and the frozen pre-event-queue
+//! per-tick engine [`femux_sim::simulate_app_tickwise`] under every
+//! policy × interval combination, checks exact three-way agreement and
+//! the metamorphic [`crate::invariants`], and shrinks any divergent
+//! case to a minimal counterexample (seed + app + first divergent
+//! tick).
 //!
 //! Cases run through [`femux_par::par_map`], which preserves input
 //! order, so [`SweepReport::render`] is byte-identical at any
@@ -18,8 +20,9 @@ use crate::diff::{compare_results, Divergence};
 use crate::engine::reference_simulate;
 use crate::invariants;
 use femux_sim::{
-    simulate_app, FixedPolicy, ForecastPolicy, KeepAlivePolicy,
-    KnativeDefaultPolicy, ScalingPolicy, SimConfig, ZeroPolicy,
+    simulate_app, simulate_app_tickwise, FixedPolicy, ForecastPolicy,
+    KeepAlivePolicy, KnativeDefaultPolicy, ScalingPolicy, SimConfig,
+    ZeroPolicy,
 };
 use femux_stats::rng::Rng;
 use femux_trace::types::{
@@ -242,7 +245,9 @@ fn sim_config(interval_ms: u64) -> SimConfig {
     }
 }
 
-/// Runs one case through both engines; `None` means exact agreement.
+/// Runs one case through all three engines; `None` means exact
+/// agreement (engine vs per-ms oracle, then engine vs the frozen
+/// per-tick reference).
 fn diverges(
     app: &AppRecord,
     policy: PolicyKind,
@@ -254,7 +259,15 @@ fn diverges(
         simulate_app(app, policy.build().as_mut(), span_ms, &cfg);
     let oracle =
         reference_simulate(app, policy.build().as_mut(), span_ms, &cfg);
-    compare_results(&engine, &oracle, interval_ms)
+    compare_results(&engine, &oracle, interval_ms).or_else(|| {
+        let tickwise = simulate_app_tickwise(
+            app,
+            policy.build().as_mut(),
+            span_ms,
+            &cfg,
+        );
+        compare_results(&engine, &tickwise, interval_ms)
+    })
 }
 
 /// ddmin-lite: removes invocation chunks, then halves durations, then
@@ -522,6 +535,27 @@ fn run_case(case: &Case, cfg: &SweepConfig) -> CaseOutcome {
                 case.interval_ms,
                 case.app.clone(),
                 d,
+            )
+        })
+        .or_else(|| {
+            // Second reference: the frozen pre-event-queue per-tick
+            // engine must agree byte-exactly too.
+            let tickwise = simulate_app_tickwise(
+                &case.app,
+                case.policy.build().as_mut(),
+                span_ms,
+                &sim_cfg,
+            );
+            compare_results(&engine, &tickwise, case.interval_ms).map(
+                |d| {
+                    (
+                        format!("{} [tickwise]", case.label),
+                        case.policy,
+                        case.interval_ms,
+                        case.app.clone(),
+                        d,
+                    )
+                },
             )
         });
 

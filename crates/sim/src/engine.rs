@@ -6,6 +6,17 @@
 //! at fixed intervals, and accounting cold starts, allocated and wasted
 //! GB-seconds, and service times into a [`CostRecord`].
 //!
+//! The engine is organized around a future-event queue so that cost
+//! scales with invocations and pod activity, never with the simulated
+//! span: pod-warm events feed an incrementally maintained warm-pod
+//! counter, a waiting-on-warming total, and a soonest-warm join index
+//! (replacing per-arrival pod-vector scans), and quiescent stretches of
+//! interval boundaries are fast-forwarded through
+//! [`ScalingPolicy::tick_idle`] in O(1) per constant-target run instead
+//! of O(span / interval). [`EngineStats`] witnesses the guarantee, and
+//! the frozen per-tick twin in [`crate::tickwise`] plus the
+//! `femux-oracle` per-millisecond reference gate its byte-exactness.
+//!
 //! Semantics (following §4.3.5 and prior-work conventions; this list is
 //! the contract the `femux-oracle` reference simulator pins — any edit
 //! here must be mirrored there):
@@ -48,13 +59,13 @@
 //!   `femux-fault`'s crate docs for the contract).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use femux_fault::{ActuationFate, AppFaults, FaultStats};
 use femux_rum::CostRecord;
 use femux_trace::types::{AppRecord, Invocation};
 
-use crate::policy::{PolicyCtx, ScalingPolicy};
+use crate::policy::{IdleTicks, PolicyCtx, ScalingPolicy};
 
 /// AWS-style scale-out rate limit (§5.1: 500 new instances per minute
 /// once above 3,000).
@@ -187,8 +198,38 @@ impl SimResult {
     }
 }
 
+/// Event-processing statistics for one simulated application — the
+/// witness for the engine's complexity guarantee: [`EngineStats::events`]
+/// grows with invocations and pod activity, never with the simulated
+/// span. A 62-day idle app costs a handful of idle transitions, not
+/// ~89,000 per-tick decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Invocations replayed.
+    pub arrivals: u64,
+    /// Interval boundaries processed one-by-one (work in flight, a
+    /// fault plan installed, or a rate-limited idle scale-up).
+    pub ticks: u64,
+    /// Idle-stretch policy transitions (one per
+    /// [`crate::policy::ScalingPolicy::tick_idle`] call).
+    pub idle_transitions: u64,
+    /// Interval boundaries absorbed in O(1) by the idle fast-forward.
+    pub batched_ticks: u64,
+}
+
+impl EngineStats {
+    /// Units of per-event work the engine actually performed. Batched
+    /// ticks are excluded: an entire batch costs O(1).
+    pub fn events(&self) -> u64 {
+        self.arrivals + self.ticks + self.idle_transitions
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Pod {
+    /// Stable identity (monotonic, never reused) keying the incremental
+    /// indexes into the pod vector.
+    uid: u64,
     warm_at: u64,
     keep_until: u64,
     /// Requests pinned to this pod while it warms. Only meaningful
@@ -199,6 +240,12 @@ struct Pod {
     /// reactively spawned cold-start pods, false for proactive spawns
     /// (not routable until ready) and min-scale pods.
     joinable: bool,
+    /// Whether a pod-warm event for the *current* `warm_at` is
+    /// outstanding in the event queue. Events are deleted lazily: a
+    /// popped event only settles the pod if this flag is still set and
+    /// the times match (crashes reschedule the warm-up; evictions
+    /// remove the pod entirely).
+    warm_pending: bool,
 }
 
 /// Internal integrator state.
@@ -231,6 +278,49 @@ struct Engine<'a> {
     /// Delayed actuations: `(apply_at_ms, target)` pairs waiting for
     /// their tick.
     pending_actuation: Vec<(u64, usize)>,
+    /// Monotonic pod-identity source.
+    next_uid: u64,
+    /// Pods whose warm-up has completed — the incrementally maintained
+    /// replacement for the per-arrival `warm_at <= t` scan.
+    warm_pods: usize,
+    /// Future pod-warm events `(warm_at, uid)`, settled lazily by
+    /// [`Engine::settle_warm`]. Stale entries (crashed or evicted pods)
+    /// are skipped on pop.
+    warm_events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Warming joinable pods with spare per-pod concurrency, ordered by
+    /// `(warm_at, uid)`: `first()` is the soonest-warm join candidate.
+    /// The uid tie-break equals the old pod-vector-order tie-break
+    /// because joinable pods enter the vector in uid order and, having
+    /// pinned requests, are protected — so the eviction sort (stable,
+    /// keyed on `warm_at`) never reorders equal-`warm_at` joinables.
+    joinable: BTreeSet<(u64, u64)>,
+    /// Requests pinned to still-warming pods — the incrementally
+    /// maintained replacement for the `waiting_on_warming` scan.
+    waiting: u64,
+    /// Pod uid → current index in `pods` (rebuilt after eviction
+    /// sorts).
+    index_of: BTreeMap<u64, usize>,
+    stats: EngineStats,
+}
+
+/// Removes the entries of `pending` that are due at `t`, preserving
+/// insertion order in both the returned batch and the remainder. The
+/// old implementation `Vec::remove(i)`-ed inside a scan loop — O(n²)
+/// and easy to get out of order when re-entered.
+fn drain_due(
+    pending: &mut Vec<(u64, usize)>,
+    t: u64,
+) -> Vec<(u64, usize)> {
+    let mut due = Vec::new();
+    pending.retain(|&entry| {
+        if entry.0 <= t {
+            due.push(entry);
+            false
+        } else {
+            true
+        }
+    });
+    due
 }
 
 impl Engine<'_> {
@@ -255,57 +345,59 @@ impl Engine<'_> {
         self.last_t = t;
     }
 
-    fn warm_capacity(&self, t: u64) -> u64 {
-        self.pods.iter().filter(|p| p.warm_at <= t).count() as u64
-            * self.concurrency
-    }
-
-    /// Requests currently pinned to still-warming pods. They hold no
-    /// warm capacity, so admission must not count them against it.
-    fn waiting_on_warming(&self, t: u64) -> u64 {
-        self.pods
-            .iter()
-            .filter(|p| p.warm_at > t)
-            .map(|p| p.queued)
-            .sum()
-    }
-
-    /// The soonest-warm joinable warming pod with spare per-pod
-    /// concurrency (ties broken by pod-vector order, deterministic).
-    fn joinable_pod(&self, t: u64) -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for (i, p) in self.pods.iter().enumerate() {
-            if p.joinable && p.warm_at > t && p.queued < self.concurrency
-            {
-                match best {
-                    Some(b) if self.pods[b].warm_at <= p.warm_at => {}
-                    _ => best = Some(i),
-                }
+    /// Settles every pod-warm event at or before `t`: the pod's warm-up
+    /// completed, so it joins the warm count, releases its pinned
+    /// requests from the waiting total, and leaves the join index.
+    /// Amortized O(log pods) per pod spawn; stale events (the pod
+    /// crashed and rescheduled its warm-up, or was evicted) are
+    /// recognized by the `(warm_at, warm_pending)` check and skipped.
+    fn settle_warm(&mut self, t: u64) {
+        while let Some(&Reverse((w, uid))) = self.warm_events.peek() {
+            if w > t {
+                break;
             }
+            self.warm_events.pop();
+            let Some(&idx) = self.index_of.get(&uid) else {
+                continue;
+            };
+            let pod = &mut self.pods[idx];
+            if pod.warm_at != w || !pod.warm_pending {
+                continue;
+            }
+            pod.warm_pending = false;
+            let queued = pod.queued;
+            self.warm_pods += 1;
+            self.waiting -= queued;
+            self.joinable.remove(&(w, uid));
         }
-        best
     }
 
     fn on_arrival(&mut self, inv: &Invocation, interval_end: u64) {
         let t = inv.start_ms;
         self.advance(t);
+        self.settle_warm(t);
+        self.stats.arrivals += 1;
         self.interval_arrivals += 1.0;
-        let warm = self.warm_capacity(t);
-        let executing =
-            self.inflight.len() as u64 - self.waiting_on_warming(t);
+        let warm = self.warm_pods as u64 * self.concurrency;
+        let executing = self.inflight.len() as u64 - self.waiting;
         let dur = inv.duration_ms as u64;
         let delay_ms = if executing < warm {
             0u64
-        } else if let Some(slot) = self.joinable_pod(t) {
+        } else if let Some(&(warm_at, uid)) = self.joinable.first() {
             // Queue on an already-warming cold-start pod: the request
             // pays the pod's remaining warm-up as its cold-start wait
             // instead of spawning a pod of its own (a burst of k
             // requests with per-pod concurrency ≥ k shares one pod).
+            let slot = self.index_of[&uid];
             let pod = &mut self.pods[slot];
-            let wait = pod.warm_at - t;
-            let end = pod.warm_at + dur;
+            let wait = warm_at - t;
+            let end = warm_at + dur;
             pod.queued += 1;
             pod.keep_until = pod.keep_until.max(interval_end).max(end);
+            if pod.queued >= self.concurrency {
+                self.joinable.remove(&(warm_at, uid));
+            }
+            self.waiting += 1;
             self.costs.cold_starts += 1;
             self.costs.cold_start_seconds += wait as f64 / 1_000.0;
             femux_obs::counter_add("sim.cold_starts", 1);
@@ -340,12 +432,29 @@ impl Engine<'_> {
                 }
             }
             let end = t + cold + dur;
+            let uid = self.next_uid;
+            self.next_uid += 1;
+            let warm_at = t + cold;
             self.pods.push(Pod {
-                warm_at: t + cold,
+                uid,
+                warm_at,
                 keep_until: interval_end.max(end),
                 queued: 1,
                 joinable: true,
+                warm_pending: cold > 0,
             });
+            self.index_of.insert(uid, self.pods.len() - 1);
+            if cold > 0 {
+                self.warm_events.push(Reverse((warm_at, uid)));
+                self.waiting += 1;
+                if 1 < self.concurrency {
+                    self.joinable.insert((warm_at, uid));
+                }
+            } else {
+                // Instantly warm: never enters the event queue (and a
+                // pod that is already warm is not joinable).
+                self.warm_pods += 1;
+            }
             self.costs.cold_starts += 1;
             self.costs.cold_start_seconds += cold as f64 / 1_000.0;
             femux_obs::counter_add("sim.cold_starts", 1);
@@ -398,31 +507,48 @@ impl Engine<'_> {
 
     fn on_tick(&mut self, t: u64, policy: &mut dyn ScalingPolicy, config: &femux_trace::types::AppConfig) {
         self.advance(t);
+        self.settle_warm(t);
+        self.stats.ticks += 1;
         // Fault draw order is part of the determinism contract: per-pod
         // crash draws in pod-vector order, then the report-loss draw,
         // then (after the policy decision) the actuation-fate draw.
-        if let Some(faults) = self.faults.as_mut() {
+        if let Some(mut faults) = self.faults.take() {
             let cold = self.cold_ms as u64;
             let mut crashed = 0u64;
-            for pod in self.pods.iter_mut() {
-                if faults.crash_pod() {
-                    // The pod restarts in place: it stays allocated
-                    // (the platform reschedules it immediately, so
-                    // GB-seconds keep accruing) but must redo its cold
-                    // start, dropping warm capacity until then. The
-                    // restart itself is not a request-visible cold
-                    // start — requests that find no warm capacity pay
-                    // (and account) their own. Restarting pods accept
-                    // no joiners and shed any stale warming queue
-                    // (requests already admitted keep their original
-                    // completion times — the crash never re-delays
-                    // admitted work, a deliberate simplification).
-                    pod.warm_at = t + cold;
-                    pod.keep_until = pod.keep_until.max(t);
-                    pod.queued = 0;
-                    pod.joinable = false;
-                    crashed += 1;
+            for i in 0..self.pods.len() {
+                if !faults.crash_pod() {
+                    continue;
                 }
+                // The pod restarts in place: it stays allocated
+                // (the platform reschedules it immediately, so
+                // GB-seconds keep accruing) but must redo its cold
+                // start, dropping warm capacity until then. The
+                // restart itself is not a request-visible cold
+                // start — requests that find no warm capacity pay
+                // (and account) their own. Restarting pods accept
+                // no joiners and shed any stale warming queue
+                // (requests already admitted keep their original
+                // completion times — the crash never re-delays
+                // admitted work, a deliberate simplification).
+                let old = self.pods[i];
+                if old.warm_at > t {
+                    self.waiting -= old.queued;
+                    self.joinable.remove(&(old.warm_at, old.uid));
+                } else {
+                    self.warm_pods -= 1;
+                }
+                let pod = &mut self.pods[i];
+                pod.warm_at = t + cold;
+                pod.keep_until = pod.keep_until.max(t);
+                pod.queued = 0;
+                pod.joinable = false;
+                pod.warm_pending = cold > 0;
+                if cold > 0 {
+                    self.warm_events.push(Reverse((t + cold, old.uid)));
+                } else {
+                    self.warm_pods += 1;
+                }
+                crashed += 1;
             }
             if crashed > 0 {
                 if let Some(track) = &self.track {
@@ -435,6 +561,7 @@ impl Engine<'_> {
                     );
                 }
             }
+            self.faults = Some(faults);
         }
         // Close the completed interval's observations. A lost report
         // surfaces as a NaN average-concurrency sample: the policy must
@@ -452,17 +579,12 @@ impl Engine<'_> {
         self.interval_peak = self.inflight.len() as f64;
         self.interval_arrivals = 0.0;
 
-        // Apply actuations whose injected delay has matured, before the
-        // policy observes the pod count.
+        // Apply actuations whose injected delay has matured — in
+        // insertion order, before the policy observes the pod count.
         if !self.pending_actuation.is_empty() {
-            let mut i = 0;
-            while i < self.pending_actuation.len() {
-                if self.pending_actuation[i].0 <= t {
-                    let (_, target) = self.pending_actuation.remove(i);
-                    self.apply_target(t, target);
-                } else {
-                    i += 1;
-                }
+            for (_, target) in drain_due(&mut self.pending_actuation, t)
+            {
+                self.apply_target(t, target);
             }
         }
 
@@ -507,12 +629,22 @@ impl Engine<'_> {
                     femux_obs::counter_add("sim.scale_limit_denials", 1);
                     break;
                 }
+                let uid = self.next_uid;
+                self.next_uid += 1;
                 self.pods.push(Pod {
+                    uid,
                     warm_at: t + cold,
                     keep_until: t,
                     queued: 0,
                     joinable: false,
+                    warm_pending: cold > 0,
                 });
+                self.index_of.insert(uid, self.pods.len() - 1);
+                if cold > 0 {
+                    self.warm_events.push(Reverse((t + cold, uid)));
+                } else {
+                    self.warm_pods += 1;
+                }
             }
             let spawned = self.pods.len() - current;
             if spawned > 0 {
@@ -554,7 +686,27 @@ impl Engine<'_> {
                 self.pods.sort_by_key(|p| {
                     (Reverse(p.keep_until > t), p.warm_at)
                 });
-                self.pods.truncate(floor.max(protected));
+                let keep = floor.max(protected);
+                for i in keep..self.pods.len() {
+                    let p = self.pods[i];
+                    if p.warm_at > t {
+                        // Still-warming evictees are proactive spawns
+                        // that never became routable: nothing pinned
+                        // (pods with pinned requests are protected).
+                        debug_assert_eq!(p.queued, 0);
+                        self.joinable.remove(&(p.warm_at, p.uid));
+                    } else {
+                        self.warm_pods -= 1;
+                    }
+                }
+                self.pods.truncate(keep);
+                // The sort shuffled vector positions; rebuild the uid
+                // index (evicted uids drop out, orphaning their queued
+                // warm events for lazy deletion).
+                self.index_of.clear();
+                for (i, p) in self.pods.iter().enumerate() {
+                    self.index_of.insert(p.uid, i);
+                }
             }
             let removed = current - self.pods.len();
             if removed > 0 {
@@ -586,6 +738,123 @@ impl Engine<'_> {
             }
         }
     }
+
+    /// Processes `n` consecutive quiescent interval boundaries, starting
+    /// at `first_tick`, consulting the policy once per constant-target
+    /// stretch (via [`ScalingPolicy::tick_idle`]) instead of once per
+    /// tick. The caller guarantees quiescence: no fault plan, nothing in
+    /// flight, and no arrival strictly before the stretch's last tick.
+    ///
+    /// Byte-exactness with the per-tick path follows from the
+    /// `tick_idle` contract (the policy asserts the per-tick decisions
+    /// it skipped) plus three engine facts: every closed interval of the
+    /// stretch beyond the first is an exact zero, the pod count between
+    /// transitions is constant (so the alive-time integral collapses to
+    /// one product of integers, exact in f64), and no pod is protected
+    /// while the app is quiescent, so applying a target `T ≤ current`
+    /// leaves exactly `max(T, min_scale)` pods. Rate-limited scale-ups
+    /// are the one pod-count trajectory the policy cannot predict, so
+    /// those re-apply the (constant) target tick-by-tick.
+    fn run_idle_ticks(
+        &mut self,
+        first_tick: u64,
+        n: u64,
+        policy: &mut dyn ScalingPolicy,
+        config: &femux_trace::types::AppConfig,
+    ) {
+        let interval = self.cfg.interval_ms;
+        self.advance(first_tick);
+        self.settle_warm(first_tick);
+        debug_assert!(self.inflight.is_empty());
+        debug_assert!(self.faults.is_none());
+        debug_assert!(
+            self.pending_actuation.is_empty(),
+            "delayed actuations only exist under fault plans"
+        );
+        debug_assert_eq!(self.waiting, 0);
+        // Close the first interval with whatever accrued before
+        // quiescence set in; every further interval of the stretch is an
+        // exact zero (nothing arrives, nothing completes, nothing is in
+        // flight).
+        let base = self.avg_concurrency.len();
+        self.avg_concurrency
+            .push(self.interval_conc_ms / interval as f64);
+        self.peak_concurrency.push(self.interval_peak);
+        self.arrivals.push(self.interval_arrivals);
+        let total = base + n as usize;
+        self.avg_concurrency.resize(total, 0.0);
+        self.peak_concurrency.resize(total, 0.0);
+        self.arrivals.resize(total, 0.0);
+        self.interval_conc_ms = 0.0;
+        self.interval_peak = 0.0;
+        self.interval_arrivals = 0.0;
+        let min_pods = if self.cfg.respect_min_scale {
+            self.min_scale
+        } else {
+            0
+        };
+        let mut i = 0u64;
+        while i < n {
+            let t = first_tick + i * interval;
+            self.advance(t);
+            self.settle_warm(t);
+            debug_assert!(
+                self.pods.iter().all(|p| p.keep_until <= t),
+                "no pod is protected while quiescent"
+            );
+            let run = {
+                let idle = IdleTicks {
+                    start_ms: first_tick,
+                    interval_ms: interval,
+                    n,
+                    config,
+                    min_pods,
+                    avg_concurrency: &self.avg_concurrency,
+                    peak_concurrency: &self.peak_concurrency,
+                    arrivals: &self.arrivals,
+                    base,
+                };
+                policy.tick_idle(&idle, i, self.pods.len(), n - i)
+            };
+            let ticks = run.ticks.clamp(1, n - i);
+            let target = if self.cfg.respect_min_scale {
+                run.target.max(self.min_scale)
+            } else {
+                run.target
+            };
+            self.stats.idle_transitions += 1;
+            femux_obs::counter_add("sim.ticks", ticks);
+            self.apply_target(t, target);
+            self.pod_counts.push(self.pods.len());
+            if self.pods.len() < target {
+                // The scale-out rate limit bit: re-apply the target
+                // (constant across the run, by the tick_idle contract)
+                // tick-by-tick without re-consulting the policy.
+                for j in 1..ticks {
+                    let tj = t + j * interval;
+                    self.advance(tj);
+                    self.settle_warm(tj);
+                    self.apply_target(tj, target);
+                    self.pod_counts.push(self.pods.len());
+                    self.stats.ticks += 1;
+                }
+            } else if ticks > 1 {
+                // Constant pod count across the run: collapse the
+                // remaining intervals into one integration step. The
+                // product is integer-valued, so f64 addition is exact
+                // and agrees with the per-tick sum.
+                self.alive_pod_ms += self.pods.len() as f64
+                    * interval as f64
+                    * (ticks - 1) as f64;
+                self.last_t = t + (ticks - 1) * interval;
+                let len = self.pod_counts.len();
+                self.pod_counts
+                    .resize(len + (ticks - 1) as usize, self.pods.len());
+                self.stats.batched_ticks += ticks - 1;
+            }
+            i += ticks;
+        }
+    }
 }
 
 /// Simulates one application under a policy.
@@ -598,6 +867,17 @@ pub fn simulate_app(
     span_ms: u64,
     cfg: &SimConfig,
 ) -> SimResult {
+    simulate_app_with_stats(app, policy, span_ms, cfg).0
+}
+
+/// [`simulate_app`], also returning the [`EngineStats`] witness of how
+/// much per-event work the run performed.
+pub fn simulate_app_with_stats(
+    app: &AppRecord,
+    policy: &mut dyn ScalingPolicy,
+    span_ms: u64,
+    cfg: &SimConfig,
+) -> (SimResult, EngineStats) {
     let cold_ms = cfg.cold_start_ms.unwrap_or(app.cold_start_ms);
     let min_scale = if cfg.respect_min_scale {
         app.config.min_scale as usize
@@ -620,11 +900,13 @@ pub fn simulate_app(
         cold_ms,
         min_scale,
         pods: (0..min_scale)
-            .map(|_| Pod {
+            .map(|uid| Pod {
+                uid: uid as u64,
                 warm_at: 0,
                 keep_until: 0,
                 queued: 0,
                 joinable: false,
+                warm_pending: false,
             })
             .collect(),
         inflight: BinaryHeap::new(),
@@ -643,6 +925,13 @@ pub fn simulate_app(
         spawns_this_minute: 0,
         faults: cfg.faults.as_ref().map(|f| f.engine_faults(app.id)),
         pending_actuation: Vec::new(),
+        next_uid: min_scale as u64,
+        warm_pods: min_scale,
+        warm_events: BinaryHeap::new(),
+        joinable: BTreeSet::new(),
+        waiting: 0,
+        index_of: (0..min_scale).map(|i| (i as u64, i)).collect(),
+        stats: EngineStats::default(),
     };
 
     // `span_ms` bounds the replay: invocations at or after the span
@@ -665,8 +954,29 @@ pub fn simulate_app(
                 idx += 1;
             }
             _ => {
-                eng.on_tick(next_tick, policy, &app.config);
-                next_tick += cfg.interval_ms;
+                if eng.faults.is_none() && eng.inflight.is_empty() {
+                    // Idle fast-forward: every tick up to (and
+                    // including) the next arrival's interval boundary —
+                    // or the span end — observes a quiescent app, so
+                    // the whole stretch is handed to the policy at
+                    // once. Any fault plan (even all-zero rates) takes
+                    // the per-tick path: its draws consume the RNG
+                    // stream unconditionally.
+                    let last = arrival
+                        .map(|a| a.min(span_ms))
+                        .unwrap_or(span_ms);
+                    let n = (last - next_tick) / cfg.interval_ms + 1;
+                    eng.run_idle_ticks(
+                        next_tick,
+                        n,
+                        policy,
+                        &app.config,
+                    );
+                    next_tick += n * cfg.interval_ms;
+                } else {
+                    eng.on_tick(next_tick, policy, &app.config);
+                    next_tick += cfg.interval_ms;
+                }
             }
         }
     }
@@ -704,19 +1014,23 @@ pub fn simulate_app(
         eng.costs.exec_seconds / eng.concurrency as f64;
     eng.costs.wasted_gb_seconds =
         (eng.costs.allocated_gb_seconds - mem_gb * busy_pod_secs).max(0.0);
-    SimResult {
-        costs: eng.costs,
-        delays_secs: eng.delays,
-        avg_concurrency: eng.avg_concurrency,
-        peak_concurrency: eng.peak_concurrency,
-        arrivals: eng.arrivals,
-        pod_counts: eng.pod_counts,
-        initial_pods: min_scale,
-        faults: eng
-            .faults
-            .map(|f| f.stats)
-            .unwrap_or_default(),
-    }
+    let stats = eng.stats;
+    (
+        SimResult {
+            costs: eng.costs,
+            delays_secs: eng.delays,
+            avg_concurrency: eng.avg_concurrency,
+            peak_concurrency: eng.peak_concurrency,
+            arrivals: eng.arrivals,
+            pod_counts: eng.pod_counts,
+            initial_pods: min_scale,
+            faults: eng
+                .faults
+                .map(|f| f.stats)
+                .unwrap_or_default(),
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -1150,6 +1464,91 @@ mod tests {
         assert_eq!(res.pod_counts[0], 0);
         assert!(res.pod_counts[1..].iter().all(|&p| p == 3));
         assert!(res.faults.actuation_delays > 0);
+    }
+
+    #[test]
+    fn cost_scales_with_invocations_not_span() {
+        // A sparse app — one request per day for a month — then the
+        // same app simulated over twice the span (31 further days of
+        // pure idle). The extra idle month must cost O(1) processed
+        // events, not one per-tick decision per interval.
+        let day = 86_400_000u64;
+        let invs: Vec<Invocation> =
+            (0..31).map(|d| inv(d * day + 1_000, 500)).collect();
+        let app = app_with(invs, 1, 0);
+        let run = |span: u64| {
+            let mut policy = KeepAlivePolicy::ten_minutes();
+            simulate_app_with_stats(&app, &mut policy, span, &cfg())
+        };
+        let (r31, s31) = run(31 * day);
+        let (r62, s62) = run(62 * day);
+        assert_eq!(r31.costs.invocations, 31);
+        assert_eq!(r62.costs.invocations, 31);
+        // The batched series still covers every interval of the span.
+        assert_eq!(r62.pod_counts.len(), (62 * day / 60_000) as usize);
+        let per_tick_cost = 31 * day / 60_000; // 44,640 avoided ticks
+        let extra = s62.events() - s31.events();
+        assert!(
+            extra <= 16,
+            "an idle month must cost O(1) events, got {extra} \
+             (a per-tick engine would pay {per_tick_cost})"
+        );
+        // Even the active month runs on far fewer events than ticks.
+        assert!(
+            s31.events() < per_tick_cost / 10,
+            "events {} vs span ticks {per_tick_cost}",
+            s31.events()
+        );
+    }
+
+    #[test]
+    fn drain_due_preserves_insertion_order() {
+        let mut pending =
+            vec![(10, 5), (10, 2), (20, 7), (5, 9), (10, 4)];
+        let due = drain_due(&mut pending, 10);
+        // Everything due at t=10, in the order it was enqueued — the
+        // order delayed actuations must be applied in.
+        assert_eq!(due, vec![(10, 5), (10, 2), (5, 9), (10, 4)]);
+        assert_eq!(pending, vec![(20, 7)]);
+        let due = drain_due(&mut pending, 15);
+        assert!(due.is_empty());
+        assert_eq!(pending, vec![(20, 7)]);
+        let due = drain_due(&mut pending, 20);
+        assert_eq!(due, vec![(20, 7)]);
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn staggered_delays_apply_in_decision_order() {
+        // Every decision delayed two ticks: the pending queue holds two
+        // entries at all times and each tick must mature the *older*
+        // one. A ramping policy makes any reordering visible in the
+        // pod-count timeline.
+        struct Ramp(usize);
+        impl ScalingPolicy for Ramp {
+            fn name(&self) -> String {
+                "ramp".into()
+            }
+            fn target_pods(&mut self, _ctx: &PolicyCtx<'_>) -> usize {
+                self.0 += 1;
+                self.0
+            }
+        }
+        let app = app_with(vec![], 1, 0);
+        let mut faults = femux_fault::FaultConfig::off(6);
+        faults.actuation_delay_rate = 1.0;
+        faults.actuation_delay_ticks = 2;
+        let res = simulate_app(
+            &app,
+            &mut Ramp(0),
+            600_000,
+            &fault_cfg(faults),
+        );
+        // Tick k (0-based) applies the target decided at tick k-2,
+        // which was k-1 pods.
+        for (k, &pods) in res.pod_counts.iter().enumerate() {
+            assert_eq!(pods, k.saturating_sub(1), "tick {k}");
+        }
     }
 
     #[test]

@@ -174,24 +174,30 @@ where
 /// Runs the fleet but also returns the full [`SimResult`] per app
 /// (including delay vectors and concurrency series) — used by the
 /// characterization and Knative-comparison experiments.
+///
+/// Runs across the ambient `femux-par` thread count. Applications are
+/// independent and results are collected in trace order, so the output
+/// is byte-identical at any thread count (like [`run_fleet_parallel`]
+/// vs [`run_fleet`]); the factory must therefore be callable from any
+/// worker (`Fn + Sync`).
 pub fn run_fleet_detailed<F>(
     trace: &Trace,
     cfg: &SimConfig,
-    mut make_policy: F,
+    make_policy: F,
 ) -> Vec<SimResult>
 where
-    F: FnMut(usize, &AppRecord) -> Box<dyn ScalingPolicy>,
+    F: Fn(usize, &AppRecord) -> Box<dyn ScalingPolicy> + Sync,
 {
     let cfg = with_run_epoch(cfg);
-    trace
-        .apps
-        .iter()
-        .enumerate()
-        .map(|(i, app)| {
+    let cfg = &*cfg;
+    femux_par::par_map_threads(
+        &trace.apps,
+        femux_par::thread_count(),
+        |i, app| {
             let mut policy = make_policy(i, app);
-            simulate_app(app, policy.as_mut(), trace.span_ms, &cfg)
-        })
-        .collect()
+            simulate_app(app, policy.as_mut(), trace.span_ms, cfg)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -282,6 +288,31 @@ mod tests {
         });
         assert_eq!(seq.per_app, par.per_app);
         assert_eq!(seq.total, par.total);
+    }
+
+    #[test]
+    fn detailed_results_are_thread_count_invariant() {
+        let trace = generate(&IbmFleetConfig::small(16));
+        let cfg = SimConfig {
+            record_delays: true,
+            ..SimConfig::default()
+        };
+        let one = {
+            let _guard = femux_par::override_threads(1);
+            run_fleet_detailed(&trace, &cfg, |_, _| {
+                Box::new(KeepAlivePolicy::ten_minutes())
+            })
+        };
+        let eight = {
+            let _guard = femux_par::override_threads(8);
+            run_fleet_detailed(&trace, &cfg, |_, _| {
+                Box::new(KeepAlivePolicy::ten_minutes())
+            })
+        };
+        assert_eq!(one.len(), trace.apps.len());
+        // Full SimResults — costs, delay vectors, every series — must be
+        // byte-identical regardless of worker count.
+        assert_eq!(one, eight);
     }
 
     #[test]

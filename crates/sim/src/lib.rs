@@ -22,15 +22,18 @@
 pub mod engine;
 pub mod fleet;
 pub mod policy;
+pub mod tickwise;
 
 pub use engine::{
-    simulate_app, ScaleEvent, ScaleLimit, SimConfig, SimResult,
+    simulate_app, simulate_app_with_stats, EngineStats, ScaleEvent,
+    ScaleLimit, SimConfig, SimResult,
 };
 pub use fleet::{
     run_fleet, run_fleet_auto, run_fleet_detailed, run_fleet_parallel,
     AppCostBreakdown, FleetOutcome,
 };
 pub use policy::{
-    FixedPolicy, ForecastPolicy, KeepAlivePolicy, KnativeDefaultPolicy,
-    PolicyCtx, ScalingPolicy, ZeroPolicy,
+    FixedPolicy, ForecastPolicy, IdleRun, IdleTicks, KeepAlivePolicy,
+    KnativeDefaultPolicy, PolicyCtx, ScalingPolicy, ZeroPolicy,
 };
+pub use tickwise::simulate_app_tickwise;

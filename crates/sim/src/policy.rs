@@ -44,6 +44,68 @@ impl PolicyCtx<'_> {
     }
 }
 
+/// A quiescent stretch of scaling intervals, handed to
+/// [`ScalingPolicy::tick_idle`].
+///
+/// The engine builds one of these when the application is provably idle
+/// for `n` consecutive ticks: nothing is in flight, no arrival occurs
+/// before the last tick of the stretch, and no fault plan is installed.
+/// The observation series already contain the stretch's samples (the
+/// first closes whatever accrued in the current interval; the rest are
+/// exact zeros), and [`IdleTicks::ctx`] reconstructs the per-tick view a
+/// plain `target_pods` call would have seen.
+pub struct IdleTicks<'a> {
+    /// Time of the first tick in the stretch (an interval boundary), ms.
+    pub start_ms: u64,
+    /// Scaling interval length, ms.
+    pub interval_ms: u64,
+    /// Number of ticks in the stretch.
+    pub n: u64,
+    /// The application's configuration.
+    pub config: &'a AppConfig,
+    /// The pod floor the engine applies to every target (0 when
+    /// min-scale is not respected). While the app is quiescent no pod is
+    /// protected and scale-downs are never rate-limited, so applying a
+    /// target `T` that is at most the current pod count leaves exactly
+    /// `max(T, min_pods)` pods.
+    pub min_pods: usize,
+    pub(crate) avg_concurrency: &'a [f64],
+    pub(crate) peak_concurrency: &'a [f64],
+    pub(crate) arrivals: &'a [f64],
+    /// Series length before the stretch's samples were appended.
+    pub(crate) base: usize,
+}
+
+impl IdleTicks<'_> {
+    /// The exact [`PolicyCtx`] a per-tick `target_pods` call would
+    /// observe at tick `i` of the stretch (series truncated to the
+    /// samples visible at that tick; nothing in flight).
+    pub fn ctx(&self, i: u64, current_pods: usize) -> PolicyCtx<'_> {
+        let visible = self.base + i as usize + 1;
+        PolicyCtx {
+            now_ms: self.start_ms + i * self.interval_ms,
+            interval_ms: self.interval_ms,
+            avg_concurrency: &self.avg_concurrency[..visible],
+            peak_concurrency: &self.peak_concurrency[..visible],
+            arrivals: &self.arrivals[..visible],
+            config: self.config,
+            current_pods,
+            inflight: 0,
+        }
+    }
+}
+
+/// A policy's answer for (a prefix of) an idle stretch: hold `target`
+/// for the next `ticks` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleRun {
+    /// Pod target for every tick of the run.
+    pub target: usize,
+    /// Number of ticks the target holds (clamped by the engine to
+    /// `1..=max_ticks`).
+    pub ticks: u64,
+}
+
 /// A lifetime-management scaling policy.
 pub trait ScalingPolicy: Send {
     /// Human-readable policy name for experiment output.
@@ -51,6 +113,40 @@ pub trait ScalingPolicy: Send {
 
     /// Desired number of pods for the next interval.
     fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize;
+
+    /// Advances the policy across (a prefix of) a quiescent stretch of
+    /// ticks in one call — the idle fast path.
+    ///
+    /// Returning `IdleRun { target, ticks: k }` asserts that `k`
+    /// successive [`Self::target_pods`] calls — at ticks `i..i + k` of
+    /// the stretch, each observing the [`PolicyCtx`] that
+    /// [`IdleTicks::ctx`] reconstructs — would all have returned
+    /// `target`, and leaves the policy in exactly the state those calls
+    /// would have left it in (including telemetry). `max_ticks` caps the
+    /// run (compositional policies pass tighter caps than the engine
+    /// does); the engine clamps `ticks` into `1..=max_ticks` either way.
+    ///
+    /// Overrides must not predicate their run length or state updates on
+    /// `current_pods` unless the implied pod trajectory is immune to the
+    /// scale-out rate limit (targets never above the current count):
+    /// scale-ups may be rate-limited, in which case the engine applies
+    /// the target tick-by-tick but does not re-consult the policy.
+    ///
+    /// The default implementation takes exactly one per-tick decision,
+    /// which is byte-identical to the slow path for any policy.
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        let _ = max_ticks;
+        IdleRun {
+            target: self.target_pods(&idle.ctx(i, current_pods)),
+            ticks: 1,
+        }
+    }
 
     /// Fault-injection statistics accumulated inside the policy itself
     /// (e.g. injected forecaster faults), merged into fleet totals by
@@ -107,6 +203,33 @@ impl ScalingPolicy for KeepAlivePolicy {
             .max(ctx.inflight as f64);
         ctx.pods_for_concurrency(peak)
     }
+
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        let ctx = idle.ctx(i, current_pods);
+        let intervals = ((self.window_secs * 1_000) / ctx.interval_ms)
+            .max(1) as usize;
+        let start = ctx.peak_concurrency.len().saturating_sub(intervals);
+        if ctx.peak_concurrency[start..].iter().all(|&v| v == 0.0) {
+            // The trailing window shows no activity and every further
+            // tick of the stretch appends another zero: the target is 0
+            // for the whole remainder. Stateless, so nothing to advance.
+            IdleRun {
+                target: 0,
+                ticks: max_ticks,
+            }
+        } else {
+            IdleRun {
+                target: self.target_pods(&ctx),
+                ticks: 1,
+            }
+        }
+    }
 }
 
 /// Knative's default reactive policy: the average concurrency over a
@@ -134,6 +257,32 @@ impl ScalingPolicy for KnativeDefaultPolicy {
         // need.
         let need_now = ctx.inflight as f64;
         ctx.pods_for_concurrency(avg.max(need_now))
+    }
+
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        let ctx = idle.ctx(i, current_pods);
+        let intervals = (60_000 / ctx.interval_ms).max(1) as usize;
+        let start = ctx.avg_concurrency.len().saturating_sub(intervals);
+        if ctx.avg_concurrency[start..].iter().all(|&v| v == 0.0) {
+            // An all-zero (or still empty) stable window with nothing in
+            // flight decides 0, at this tick and at every later tick of
+            // the stretch. Stateless, so nothing to advance.
+            IdleRun {
+                target: 0,
+                ticks: max_ticks,
+            }
+        } else {
+            IdleRun {
+                target: self.target_pods(&ctx),
+                ticks: 1,
+            }
+        }
     }
 }
 
@@ -185,6 +334,42 @@ impl ScalingPolicy for ForecastPolicy {
         };
         ctx.pods_for_concurrency(pred * self.headroom)
     }
+
+    fn tick_idle(
+        &mut self,
+        idle: &IdleTicks<'_>,
+        i: u64,
+        current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        let ctx = idle.ctx(i, current_pods);
+        let len = ctx.avg_concurrency.len();
+        let window =
+            &ctx.avg_concurrency[len.saturating_sub(self.history)..];
+        if self.history > 0
+            && len >= self.history
+            && window.iter().all(|&v| v == 0.0)
+        {
+            // The history window is saturated and all-zero, so it is
+            // byte-identical at every tick of the stretch; forecasters
+            // are pure outside `train` (a `femux_forecast::Forecaster`
+            // contract), so one forecast decides the whole run.
+            let pred = self
+                .forecaster
+                .forecast(window, self.horizon.max(1))
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            IdleRun {
+                target: ctx.pods_for_concurrency(pred * self.headroom),
+                ticks: max_ticks,
+            }
+        } else {
+            IdleRun {
+                target: self.target_pods(&ctx),
+                ticks: 1,
+            }
+        }
+    }
 }
 
 /// Always requests a fixed number of pods (useful for tests and as the
@@ -200,6 +385,19 @@ impl ScalingPolicy for FixedPolicy {
     fn target_pods(&mut self, _ctx: &PolicyCtx<'_>) -> usize {
         self.0
     }
+
+    fn tick_idle(
+        &mut self,
+        _idle: &IdleTicks<'_>,
+        _i: u64,
+        _current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        IdleRun {
+            target: self.0,
+            ticks: max_ticks,
+        }
+    }
 }
 
 /// Never provisions anything proactively; every burst pays cold starts.
@@ -214,5 +412,18 @@ impl ScalingPolicy for ZeroPolicy {
 
     fn target_pods(&mut self, _ctx: &PolicyCtx<'_>) -> usize {
         0
+    }
+
+    fn tick_idle(
+        &mut self,
+        _idle: &IdleTicks<'_>,
+        _i: u64,
+        _current_pods: usize,
+        max_ticks: u64,
+    ) -> IdleRun {
+        IdleRun {
+            target: 0,
+            ticks: max_ticks,
+        }
     }
 }

@@ -1,0 +1,347 @@
+//! The pre-event-queue engine, frozen as an agreement reference.
+//!
+//! This module is a verbatim specialization (fault hooks and telemetry
+//! stripped — both are inert in fault-free runs) of the per-tick engine
+//! that `simulate_app` used before the event-queue rewrite: O(pods)
+//! pod-vector scans per arrival, one full `on_tick` per interval for
+//! the whole span, and per-tick `target_pods` calls only (never
+//! [`crate::policy::ScalingPolicy::tick_idle`]).
+//!
+//! It exists so the rewrite is gated by *two* independent references:
+//! `femux_oracle::reference_simulate` (per-millisecond) and this
+//! per-tick twin. `femux-oracle`'s sweep asserts byte-exact agreement
+//! of all three on every fault-free case. Do not "fix" or optimize this
+//! module — its value is that it does not change.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use femux_rum::CostRecord;
+use femux_trace::types::{AppRecord, Invocation};
+
+use crate::engine::{SimConfig, SimResult};
+use crate::policy::{PolicyCtx, ScalingPolicy};
+
+#[derive(Debug, Clone, Copy)]
+struct Pod {
+    warm_at: u64,
+    keep_until: u64,
+    queued: u64,
+    joinable: bool,
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    concurrency: u64,
+    cold_ms: u32,
+    min_scale: usize,
+    pods: Vec<Pod>,
+    inflight: BinaryHeap<Reverse<u64>>,
+    last_t: u64,
+    alive_pod_ms: f64,
+    interval_conc_ms: f64,
+    interval_peak: f64,
+    interval_arrivals: f64,
+    avg_concurrency: Vec<f64>,
+    peak_concurrency: Vec<f64>,
+    arrivals: Vec<f64>,
+    pod_counts: Vec<usize>,
+    costs: CostRecord,
+    delays: Vec<f64>,
+    spawn_minute: u64,
+    spawns_this_minute: usize,
+}
+
+impl Engine<'_> {
+    fn advance(&mut self, t: u64) {
+        debug_assert!(t >= self.last_t, "time went backwards");
+        let mut now = self.last_t;
+        while let Some(&Reverse(end)) = self.inflight.peek() {
+            if end > t {
+                break;
+            }
+            let dt = (end - now) as f64;
+            self.interval_conc_ms += self.inflight.len() as f64 * dt;
+            self.alive_pod_ms += self.pods.len() as f64 * dt;
+            now = end;
+            self.inflight.pop();
+        }
+        let dt = (t - now) as f64;
+        self.interval_conc_ms += self.inflight.len() as f64 * dt;
+        self.alive_pod_ms += self.pods.len() as f64 * dt;
+        self.last_t = t;
+    }
+
+    fn warm_capacity(&self, t: u64) -> u64 {
+        self.pods.iter().filter(|p| p.warm_at <= t).count() as u64
+            * self.concurrency
+    }
+
+    fn waiting_on_warming(&self, t: u64) -> u64 {
+        self.pods
+            .iter()
+            .filter(|p| p.warm_at > t)
+            .map(|p| p.queued)
+            .sum()
+    }
+
+    fn joinable_pod(&self, t: u64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, p) in self.pods.iter().enumerate() {
+            if p.joinable && p.warm_at > t && p.queued < self.concurrency
+            {
+                match best {
+                    Some(b) if self.pods[b].warm_at <= p.warm_at => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        best
+    }
+
+    fn on_arrival(&mut self, inv: &Invocation, interval_end: u64) {
+        let t = inv.start_ms;
+        self.advance(t);
+        self.interval_arrivals += 1.0;
+        let warm = self.warm_capacity(t);
+        let executing =
+            self.inflight.len() as u64 - self.waiting_on_warming(t);
+        let dur = inv.duration_ms as u64;
+        let delay_ms = if executing < warm {
+            0u64
+        } else if let Some(slot) = self.joinable_pod(t) {
+            let pod = &mut self.pods[slot];
+            let wait = pod.warm_at - t;
+            let end = pod.warm_at + dur;
+            pod.queued += 1;
+            pod.keep_until = pod.keep_until.max(interval_end).max(end);
+            self.costs.cold_starts += 1;
+            self.costs.cold_start_seconds += wait as f64 / 1_000.0;
+            wait
+        } else {
+            let cold = self.cold_ms as u64;
+            let end = t + cold + dur;
+            self.pods.push(Pod {
+                warm_at: t + cold,
+                keep_until: interval_end.max(end),
+                queued: 1,
+                joinable: true,
+            });
+            self.costs.cold_starts += 1;
+            self.costs.cold_start_seconds += cold as f64 / 1_000.0;
+            cold
+        };
+        self.inflight.push(Reverse(t + delay_ms + dur));
+        self.interval_peak =
+            self.interval_peak.max(self.inflight.len() as f64);
+        self.costs.invocations += 1;
+        self.costs.exec_seconds += dur as f64 / 1_000.0;
+        self.costs.service_seconds += (delay_ms + dur) as f64 / 1_000.0;
+        if self.cfg.record_delays {
+            self.delays.push(delay_ms as f64 / 1_000.0);
+        }
+    }
+
+    fn proactive_spawn_allowed(&mut self, t: u64) -> bool {
+        let Some(limit) = self.cfg.scale_limit else {
+            return true;
+        };
+        if self.pods.len() < limit.threshold {
+            return true;
+        }
+        let minute = t / 60_000;
+        if minute != self.spawn_minute {
+            self.spawn_minute = minute;
+            self.spawns_this_minute = 0;
+        }
+        if self.spawns_this_minute < limit.per_minute {
+            self.spawns_this_minute += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn on_tick(
+        &mut self,
+        t: u64,
+        policy: &mut dyn ScalingPolicy,
+        config: &femux_trace::types::AppConfig,
+    ) {
+        self.advance(t);
+        let avg = self.interval_conc_ms / self.cfg.interval_ms as f64;
+        self.avg_concurrency.push(avg);
+        self.peak_concurrency.push(self.interval_peak);
+        self.arrivals.push(self.interval_arrivals);
+        self.interval_conc_ms = 0.0;
+        self.interval_peak = self.inflight.len() as f64;
+        self.interval_arrivals = 0.0;
+
+        let ctx = PolicyCtx {
+            now_ms: t,
+            interval_ms: self.cfg.interval_ms,
+            avg_concurrency: &self.avg_concurrency,
+            peak_concurrency: &self.peak_concurrency,
+            arrivals: &self.arrivals,
+            config,
+            current_pods: self.pods.len(),
+            inflight: self.inflight.len(),
+        };
+        let mut target = policy.target_pods(&ctx);
+        if self.cfg.respect_min_scale {
+            target = target.max(self.min_scale);
+        }
+        self.apply_target(t, target);
+        self.pod_counts.push(self.pods.len());
+    }
+
+    fn apply_target(&mut self, t: u64, target: usize) {
+        let current = self.pods.len();
+        if target > current {
+            let cold = self.cold_ms as u64;
+            for _ in current..target {
+                if !self.proactive_spawn_allowed(t) {
+                    break;
+                }
+                self.pods.push(Pod {
+                    warm_at: t + cold,
+                    keep_until: t,
+                    queued: 0,
+                    joinable: false,
+                });
+            }
+        } else if target < current {
+            let needed = (self.inflight.len() as u64)
+                .div_ceil(self.concurrency)
+                as usize;
+            let protected =
+                self.pods.iter().filter(|p| p.keep_until > t).count();
+            let floor = target
+                .max(needed)
+                .max(protected)
+                .max(if self.cfg.respect_min_scale {
+                    self.min_scale
+                } else {
+                    0
+                });
+            if floor < current {
+                self.pods.sort_by_key(|p| {
+                    (Reverse(p.keep_until > t), p.warm_at)
+                });
+                self.pods.truncate(floor.max(protected));
+            }
+        }
+    }
+}
+
+/// Simulates one application with the frozen per-tick engine.
+///
+/// Byte-identical to [`crate::engine::simulate_app`] on fault-free
+/// configurations (the differential-testing invariant this module
+/// exists for). Panics if a fault plan is installed — the fault paths
+/// were stripped, not reimplemented.
+pub fn simulate_app_tickwise(
+    app: &AppRecord,
+    policy: &mut dyn ScalingPolicy,
+    span_ms: u64,
+    cfg: &SimConfig,
+) -> SimResult {
+    assert!(
+        cfg.faults.is_none(),
+        "the tickwise reference engine is fault-free only"
+    );
+    let cold_ms = cfg.cold_start_ms.unwrap_or(app.cold_start_ms);
+    let min_scale = if cfg.respect_min_scale {
+        app.config.min_scale as usize
+    } else {
+        0
+    };
+    let mem_gb = app.mem_used_mb as f64 / 1_024.0;
+    let mut eng = Engine {
+        cfg,
+        concurrency: app.config.concurrency.max(1) as u64,
+        cold_ms,
+        min_scale,
+        pods: (0..min_scale)
+            .map(|_| Pod {
+                warm_at: 0,
+                keep_until: 0,
+                queued: 0,
+                joinable: false,
+            })
+            .collect(),
+        inflight: BinaryHeap::new(),
+        last_t: 0,
+        alive_pod_ms: 0.0,
+        interval_conc_ms: 0.0,
+        interval_peak: 0.0,
+        interval_arrivals: 0.0,
+        avg_concurrency: Vec::new(),
+        peak_concurrency: Vec::new(),
+        arrivals: Vec::new(),
+        pod_counts: Vec::new(),
+        costs: CostRecord::default(),
+        delays: Vec::new(),
+        spawn_minute: 0,
+        spawns_this_minute: 0,
+    };
+
+    let n_replay = app
+        .invocations
+        .partition_point(|i| i.start_ms < span_ms);
+    let replay = &app.invocations[..n_replay];
+    let mut next_tick = cfg.interval_ms;
+    let mut idx = 0usize;
+    while idx < replay.len() || next_tick <= span_ms {
+        let arrival = replay.get(idx).map(|i| i.start_ms);
+        match arrival {
+            Some(a) if a < next_tick || next_tick > span_ms => {
+                let interval_end = next_tick.min(span_ms);
+                let inv = replay[idx];
+                eng.on_arrival(&inv, interval_end);
+                idx += 1;
+            }
+            _ => {
+                eng.on_tick(next_tick, policy, &app.config);
+                next_tick += cfg.interval_ms;
+            }
+        }
+    }
+    let last_tick = next_tick - cfg.interval_ms;
+    if last_tick < span_ms {
+        eng.advance(span_ms);
+        let tail_ms = (span_ms - last_tick) as f64;
+        let avg = eng.interval_conc_ms / tail_ms;
+        eng.avg_concurrency.push(avg);
+        eng.peak_concurrency.push(eng.interval_peak);
+        eng.arrivals.push(eng.interval_arrivals);
+        eng.interval_conc_ms = 0.0;
+        eng.interval_peak = eng.inflight.len() as f64;
+        eng.interval_arrivals = 0.0;
+    }
+    let last_end = eng
+        .inflight
+        .iter()
+        .map(|Reverse(e)| *e)
+        .max()
+        .unwrap_or(eng.last_t)
+        .max(span_ms);
+    eng.advance(last_end);
+
+    let alive_secs = eng.alive_pod_ms / 1_000.0;
+    eng.costs.allocated_gb_seconds = mem_gb * alive_secs;
+    let busy_pod_secs =
+        eng.costs.exec_seconds / eng.concurrency as f64;
+    eng.costs.wasted_gb_seconds =
+        (eng.costs.allocated_gb_seconds - mem_gb * busy_pod_secs).max(0.0);
+    SimResult {
+        costs: eng.costs,
+        delays_secs: eng.delays,
+        avg_concurrency: eng.avg_concurrency,
+        peak_concurrency: eng.peak_concurrency,
+        arrivals: eng.arrivals,
+        pod_counts: eng.pod_counts,
+        initial_pods: min_scale,
+        faults: femux_fault::FaultStats::default(),
+    }
+}
