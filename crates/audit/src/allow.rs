@@ -7,18 +7,23 @@
 //! ```
 //!
 //! The reason is mandatory — an unexplained suppression is worth
-//! nothing in review. An annotation targets exactly one line:
+//! nothing in review. An annotation targets a line *range*:
 //!
-//! - a *trailing* comment targets its own line;
-//! - an *own-line* comment targets the next line that has code.
+//! - a *trailing* comment targets its own line only;
+//! - an *own-line* comment targets the statement or expression that
+//!   starts on the next code line, through its end — the first `;` or
+//!   `,` at bracket depth zero, the close of its first brace group, or
+//!   the close of the enclosing group, whichever comes first. An
+//!   annotation above a call whose arguments span five lines therefore
+//!   binds to all five, not just the first token's line.
 //!
-//! Each annotation suppresses **at most one** finding of its rule on
-//! the target line. Two violations on one line need two annotations;
-//! this keeps suppressions auditable one-for-one. Annotations that
-//! suppress nothing are reported as *unused* so stale ones cannot
-//! accumulate silently.
+//! Each annotation suppresses **at most one** finding of its rule in
+//! the target range. Two violations need two annotations; this keeps
+//! suppressions auditable one-for-one. Annotations that suppress
+//! nothing are reported as *unused* so stale ones cannot accumulate
+//! silently.
 
-use crate::lexer::{Comment, Tok};
+use crate::lexer::{Comment, Tok, TokKind};
 
 /// One parsed `audit:allow` annotation.
 #[derive(Debug, Clone)]
@@ -27,10 +32,20 @@ pub struct Allow {
     pub rule: String,
     /// The mandatory justification.
     pub reason: String,
-    /// Line whose findings this annotation may suppress.
+    /// First line whose findings this annotation may suppress.
     pub target_line: u32,
+    /// Last line of the target range (== `target_line` for trailing
+    /// comments and single-line statements).
+    pub target_end: u32,
     /// Line the annotation itself is written on.
     pub comment_line: u32,
+}
+
+impl Allow {
+    /// True when the annotation's range covers `line`.
+    pub fn covers(&self, line: u32) -> bool {
+        line >= self.target_line && line <= self.target_end
+    }
 }
 
 /// A malformed annotation (reported, never silently dropped).
@@ -68,18 +83,21 @@ pub fn parse_allows(
         }
         match parse_one(rest) {
             Ok((rule, reason)) => {
-                let target_line = if c.own_line {
-                    toks.iter()
+                let (target_line, target_end) = if c.own_line {
+                    let start = toks
+                        .iter()
                         .map(|t| t.line)
                         .find(|&l| l > c.line)
-                        .unwrap_or(c.line)
+                        .unwrap_or(c.line);
+                    (start, statement_end(toks, start))
                 } else {
-                    c.line
+                    (c.line, c.line)
                 };
                 allows.push(Allow {
                     rule,
                     reason,
                     target_line,
+                    target_end,
                     comment_line: c.line,
                 });
             }
@@ -90,6 +108,46 @@ pub fn parse_allows(
         }
     }
     (allows, bad)
+}
+
+/// Last line of the statement/expression starting at `start_line`:
+/// walks tokens from that line tracking bracket depth and stops at
+/// the first `;`/`,` at depth zero, at the `}` closing the first
+/// brace group, or just before a delimiter that closes the enclosing
+/// group (annotations inside argument lists stop at their own
+/// argument).
+fn statement_end(toks: &[Tok], start_line: u32) -> u32 {
+    let Some(first) = toks.iter().position(|t| t.line >= start_line) else {
+        return start_line;
+    };
+    let mut depth = 0i32;
+    let mut last_line = start_line;
+    for t in &toks[first..] {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return last_line;
+                    }
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return t.line;
+                    }
+                    if depth < 0 {
+                        return last_line;
+                    }
+                }
+                ";" | "," if depth == 0 => return t.line,
+                _ => {}
+            }
+        }
+        last_line = t.line;
+    }
+    last_line
 }
 
 /// True when the text after `audit:allow` opens with a parenthesized
@@ -176,6 +234,43 @@ mod tests {
         let (allows, _) = parse_allows(&lexed.comments, &lexed.toks);
         assert_eq!(allows.len(), 1);
         assert_eq!(allows[0].target_line, 4);
+        assert_eq!(allows[0].target_end, 4);
+    }
+
+    #[test]
+    fn own_line_annotation_covers_a_multiline_expression() {
+        let src = "\
+// audit:allow(lossy-cast, reason = \"bounded by construction\")
+let plan = build(
+    alpha,
+    beta as u32,
+);
+let next = 1;
+";
+        let lexed = lex(src);
+        let (allows, _) = parse_allows(&lexed.comments, &lexed.toks);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].target_line, 2);
+        assert_eq!(allows[0].target_end, 5);
+        assert!(allows[0].covers(4), "mid-expression line is covered");
+        assert!(!allows[0].covers(6), "the next statement is not");
+    }
+
+    #[test]
+    fn own_line_annotation_inside_an_argument_list_stays_on_its_argument() {
+        let src = "\
+let r = reduce(
+    first,
+    // audit:allow(sequential-fp-reduce, reason = \"integer sum\")
+    second + third,
+    fourth,
+);
+";
+        let lexed = lex(src);
+        let (allows, _) = parse_allows(&lexed.comments, &lexed.toks);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].target_line, 4);
+        assert_eq!(allows[0].target_end, 4);
     }
 
     #[test]

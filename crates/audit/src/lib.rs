@@ -4,39 +4,57 @@
 //! output at any thread count. This crate turns that guarantee (and
 //! the workspace's offline-build and no-panic hygiene) from reviewer
 //! vigilance into a machine-checked gate. It is a dependency-free
-//! static-analysis pass — a hand-rolled Rust [`lexer`] feeding a
-//! [`rules`] engine with stable finding ids, per-site
+//! static-analysis pipeline: a hand-rolled Rust [`lexer`], a
+//! recursive-descent [`parser`] producing a lightweight AST, per-file
+//! function facts ([`symbols`]) merged into a workspace symbol table,
+//! an approximate [`callgraph`], and a two-tier [`rules`] engine
+//! (local per-file rules in parallel, interprocedural rules over the
+//! merged graph) with stable finding ids, per-site
 //! `// audit:allow(<rule>, reason = "…")` suppressions ([`allow`]),
 //! and human/JSON reporters ([`report`]).
 //!
-//! Shipped rules:
+//! Shipped local rules:
 //!
 //! | id | invariant |
 //! |---|---|
 //! | `no-wallclock-entropy` | deterministic crates never read clock/entropy |
 //! | `no-unordered-emit` | hash-ordered collections never reach output |
-//! | `sequential-fp-reduce` | `par_map` closures stay pure; combining is sequential |
+//! | `sequential-fp-reduce` | `par_map` arguments carry no shared state |
 //! | `panic-path` | library code has no undocumented panic paths |
 //! | `lossy-cast` | no truncating casts in rum/sim accumulation |
 //! | `offline-deps` | every dependency is a path/workspace dependency |
 //! | `no-env-read` | deterministic crates never read the environment |
+//! | `par-closure-purity` | `par_map` closures capture no mutable accumulators |
+//! | `fault-draw-order` | per-tick fault draws keep the documented order |
+//!
+//! Interprocedural rules (over the workspace call graph):
+//!
+//! | id | invariant |
+//! |---|---|
+//! | `wallclock-reachability` | no call path from deterministic public fns to clock/entropy |
+//! | `contract-impl` | trait impls complete their semantic contract (forecast sanitation, `tick_idle` equivalence tests, worker flush) |
 //!
 //! The pass runs three ways: the `femux-audit` binary, the tier-1
 //! integration test `tests/audit_clean.rs` (zero unannotated findings
-//! over the workspace), and the CI `audit` job (which also diffs the
-//! JSON report against `crates/audit/workspace-baseline.json` so
-//! annotation drift is an explicit review event).
+//! over the workspace, byte-identical report at any `FEMUX_THREADS`),
+//! and the CI `audit` job (which also diffs the JSON report against
+//! `crates/audit/workspace-baseline.json` so annotation drift is an
+//! explicit review event).
 
 pub mod allow;
+pub mod callgraph;
 pub mod engine;
 pub mod findings;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
 pub use engine::{
-    audit_manifest, audit_source, scan_workspace, FileAudit, WorkspaceAudit,
+    audit_manifest, audit_source, audit_sources, scan_workspace, FileAudit,
+    SourceSpec, WorkspaceAudit,
 };
 pub use findings::{finding_id, CrateClass, FileKind, Finding};
 pub use report::{render_json, render_text};

@@ -73,7 +73,10 @@ fn main() -> ExitCode {
     };
     if args.list_rules {
         for rule in femux_audit::rules::all_rules() {
-            println!("{:<22} {}", rule.id(), rule.describe());
+            println!("{:<24} {}", rule.id(), rule.describe());
+        }
+        for rule in femux_audit::rules::workspace_rules() {
+            println!("{:<24} {}", rule.id(), rule.describe());
         }
         return ExitCode::SUCCESS;
     }

@@ -45,7 +45,7 @@ fn finding_json(f: &Finding) -> String {
 /// Renders the audit as deterministic JSON.
 pub fn render_json(audit: &WorkspaceAudit) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"femux_audit\": 1,\n  \"rules\": [");
+    out.push_str("{\n  \"femux_audit\": 2,\n  \"rules\": [");
     for (i, r) in audit.rules.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");

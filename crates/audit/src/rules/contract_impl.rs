@@ -1,0 +1,201 @@
+//! `contract-impl`: trait impls must complete the workspace's semantic
+//! contracts, not just typecheck against the trait.
+//!
+//! Three contracts, each checked over the call graph:
+//!
+//! 1. **Forecaster sanitation** — `Forecaster::forecast` returns
+//!    "clamped, exactly `horizon` entries" per the trait docs, and the
+//!    one function enforcing that postcondition is
+//!    `femux_forecast::sanitize_forecast`. Every `impl Forecaster`
+//!    must reach it from its `forecast` body; an impl that skips it
+//!    can hand NaN/negative targets to the sim engine.
+//! 2. **`tick_idle` equivalence tests** — the idle fast path
+//!    ([`ScalingPolicy::tick_idle`]) asserts batched ticks are
+//!    byte-identical to per-tick decisions. Any policy overriding it
+//!    must appear in a `assert_tick_idle_equivalence("Type", ..)` call
+//!    somewhere in the workspace's tests (the registrar records every
+//!    identifier in its argument tokens, so passing the constructor
+//!    registers the type).
+//! 3. **Worker telemetry flush** — `femux_obs` counters are
+//!    thread-local and die with the thread unless
+//!    `femux_obs::flush_thread()` runs. A closure handed to
+//!    `spawn(..)` in the parallel substrate (`crates/par`) or a
+//!    deterministic crate must reach `flush_thread`, either by calling
+//!    into it or by instantiating a guard type whose `Drop` impl does
+//!    (e.g. `FlushOnExit`).
+//!
+//! Contracts 1 and 3 anchor on a concrete function; when the corpus
+//! does not define that function (reduced fixtures, partial scans) the
+//! sub-check stands down rather than flagging the whole corpus.
+
+use std::collections::BTreeSet;
+
+use super::{WorkspaceOutput, WorkspaceRule};
+use crate::callgraph::{resolve, CallGraph};
+use crate::findings::CrateClass;
+use crate::symbols::{WorkspaceIndex, EQUIVALENCE_REGISTRAR};
+
+/// See module docs.
+pub struct ContractImpl;
+
+impl WorkspaceRule for ContractImpl {
+    fn id(&self) -> &'static str {
+        "contract-impl"
+    }
+
+    fn describe(&self) -> &'static str {
+        "trait impls must complete their semantic contract: forecast \
+         sanitation, tick_idle equivalence tests, worker flush"
+    }
+
+    fn check(
+        &self,
+        index: &WorkspaceIndex,
+        graph: &CallGraph,
+        out: &mut WorkspaceOutput,
+    ) {
+        check_forecast_sanitation(self.id(), index, graph, out);
+        check_tick_idle_registry(self.id(), index, out);
+        check_worker_flush(self.id(), index, graph, out);
+    }
+}
+
+/// Free fns named `name` defined in crate `krate`.
+fn anchors(index: &WorkspaceIndex, krate: &str, name: &str) -> BTreeSet<usize> {
+    index
+        .free_by_crate
+        .get(&(krate.to_string(), name.to_string()))
+        .map_or(&[][..], Vec::as_slice)
+        .iter()
+        .copied()
+        .collect()
+}
+
+fn check_forecast_sanitation(
+    rule: &'static str,
+    index: &WorkspaceIndex,
+    graph: &CallGraph,
+    out: &mut WorkspaceOutput,
+) {
+    let sanitize = anchors(index, "forecast", "sanitize_forecast");
+    if sanitize.is_empty() {
+        return;
+    }
+    for (i, node) in index.nodes.iter().enumerate() {
+        if node.info.trait_name.as_deref() != Some("Forecaster")
+            || node.info.name != "forecast"
+            || node.info.in_trait_decl
+            || !node.traversable()
+        {
+            continue;
+        }
+        let reach = graph.reachable([i], |c| index.nodes[c].traversable());
+        if reach.intersection(&sanitize).next().is_some() {
+            continue;
+        }
+        out.push(
+            node.file,
+            rule,
+            node.info.line,
+            node.info.col,
+            format!(
+                "`{}` implements `Forecaster::forecast` without \
+                 reaching `sanitize_forecast`: the forecast contract \
+                 (non-negative, exactly `horizon` entries) is enforced \
+                 nowhere on this path",
+                node.display(),
+            ),
+        );
+    }
+}
+
+fn check_tick_idle_registry(
+    rule: &'static str,
+    index: &WorkspaceIndex,
+    out: &mut WorkspaceOutput,
+) {
+    for node in &index.nodes {
+        if node.info.trait_name.as_deref() != Some("ScalingPolicy")
+            || node.info.name != "tick_idle"
+            || node.info.in_trait_decl
+            || node.info.cfg_test
+        {
+            continue;
+        }
+        let Some(ty) = &node.info.self_ty else { continue };
+        if index.registered.contains(ty) {
+            continue;
+        }
+        out.push(
+            node.file,
+            rule,
+            node.info.line,
+            node.info.col,
+            format!(
+                "`{ty}` overrides `ScalingPolicy::tick_idle` but no \
+                 test registers it: add \
+                 `{EQUIVALENCE_REGISTRAR}(\"{ty}\", ..)` proving the \
+                 idle fast path matches per-tick decisions",
+            ),
+        );
+    }
+}
+
+fn check_worker_flush(
+    rule: &'static str,
+    index: &WorkspaceIndex,
+    graph: &CallGraph,
+    out: &mut WorkspaceOutput,
+) {
+    let flush = anchors(index, "obs", "flush_thread");
+    if flush.is_empty() {
+        return;
+    }
+    let reaches_flush = graph
+        .reaches(flush.iter().copied(), |c| index.nodes[c].traversable());
+    // Guard types: a `Drop` impl whose `drop` reaches `flush_thread`.
+    let guards: BTreeSet<&str> = index
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, n)| {
+            n.info.trait_name.as_deref() == Some("Drop")
+                && n.info.name == "drop"
+                && reaches_flush.contains(i)
+        })
+        .filter_map(|(_, n)| n.info.self_ty.as_deref())
+        .collect();
+    for (i, node) in index.nodes.iter().enumerate() {
+        let in_scope = node.crate_name == "par"
+            || node.class == CrateClass::Deterministic;
+        if !in_scope || !node.traversable() {
+            continue;
+        }
+        for cl in &node.info.spawn_closures {
+            let flushes = cl.calls.iter().any(|call| {
+                call.path.last().map(String::as_str)
+                    == Some("flush_thread")
+                    || resolve(index, i, call)
+                        .0
+                        .iter()
+                        .any(|c| reaches_flush.contains(c))
+            }) || cl.idents.iter().any(|id| guards.contains(id.as_str()));
+            if flushes {
+                continue;
+            }
+            out.push(
+                node.file,
+                rule,
+                cl.line,
+                cl.col,
+                format!(
+                    "spawned worker closure in `{}` never reaches \
+                     `femux_obs::flush_thread`: thread-local counters \
+                     die with the worker — call it before exit or \
+                     hold a flush guard",
+                    node.display(),
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! `fault-draw-order`: per-tick fault draws advance one shared RNG
+//! stream and must run in the documented order.
+//!
+//! `femux_fault::AppFaults` performs exactly one uniform draw per
+//! method call so the stream advances identically whether or not a
+//! fault fires; the sim engine's determinism contract is that each
+//! tick draws `crash_pod` → `lose_report` → `actuation_fate` in that
+//! fixed order (`straggle` is drawn per cold-start, outside the tick
+//! sequence). Two ways code silently breaks replay equivalence:
+//!
+//! - **reordering the draws** — swapping `lose_report` before
+//!   `crash_pod` hands each draw a different `u64` from the stream, so
+//!   a config byte-identical to the oracle's injects different faults;
+//! - **branching on accumulated fault state mid-sequence** — reading
+//!   `faults.stats` between the first and last draw lets an early
+//!   injection skip or duplicate a later draw, desynchronising the
+//!   stream from that tick onward.
+//!
+//! The check is per function body in deterministic crates: collect the
+//! tick-sequence draw calls in source order and flag any ordinal
+//! inversion, plus any `.stats` read on a draw receiver between the
+//! first and last draw.
+
+use super::{FileContext, Rule, RuleOutput};
+use crate::findings::{CrateClass, FileKind};
+use crate::lexer::TokKind;
+use crate::parser::Expr;
+
+/// Per-tick draw methods, index = required ordinal.
+const TICK_DRAWS: &[&str] = &["crash_pod", "lose_report", "actuation_fate"];
+
+/// See module docs.
+pub struct FaultDrawOrder;
+
+impl Rule for FaultDrawOrder {
+    fn id(&self) -> &'static str {
+        "fault-draw-order"
+    }
+
+    fn describe(&self) -> &'static str {
+        "per-tick fault draws must run crash_pod -> lose_report -> \
+         actuation_fate with no mid-sequence fault-state reads"
+    }
+
+    fn check_source(&self, cx: &FileContext, out: &mut RuleOutput) {
+        if cx.class != CrateClass::Deterministic
+            || !matches!(cx.kind, FileKind::Lib | FileKind::Bin)
+        {
+            return;
+        }
+        cx.ast.for_each_fn(&mut |func, in_test| {
+            if in_test {
+                return;
+            }
+            let Some(body) = &func.body else { return };
+            // Draw sites in this body: (line, col, ordinal, recv base).
+            let mut draws: Vec<(u32, u32, usize, Option<String>)> =
+                Vec::new();
+            body.for_each_expr(&mut |e| {
+                let Expr::Method(m) = e else { return };
+                let Some(ord) =
+                    TICK_DRAWS.iter().position(|d| *d == m.method)
+                else {
+                    return;
+                };
+                if cx.is_test_line(m.line) {
+                    return;
+                }
+                draws.push((m.line, m.col, ord, m.recv_base.clone()));
+            });
+            if draws.len() < 2 {
+                return;
+            }
+            draws.sort();
+            for w in draws.windows(2) {
+                let (pl, _, prev, _) = &w[0];
+                let (line, col, cur, _) = &w[1];
+                if cur < prev {
+                    out.push(
+                        self.id(),
+                        cx.rel_path,
+                        *line,
+                        *col,
+                        format!(
+                            "`{}` drawn after `{}` (line {pl}): per-tick \
+                             fault draws must run {} so the RNG stream \
+                             stays aligned with the oracle's",
+                            TICK_DRAWS[*cur],
+                            TICK_DRAWS[*prev],
+                            TICK_DRAWS.join(" -> "),
+                        ),
+                    );
+                }
+            }
+            // `.stats` reads on a draw receiver between the first and
+            // last draw of the sequence.
+            let first = (draws[0].0, draws[0].1);
+            let last = (draws[draws.len() - 1].0, draws[draws.len() - 1].1);
+            let bases: Vec<&str> = draws
+                .iter()
+                .filter_map(|d| d.3.as_deref())
+                .collect();
+            for (i, t) in cx.toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || t.text != "stats" || i < 2 {
+                    continue;
+                }
+                let pos = (t.line, t.col);
+                if pos <= first || pos >= last || cx.is_test_line(t.line) {
+                    continue;
+                }
+                let dot = &cx.toks[i - 1];
+                let base = &cx.toks[i - 2];
+                if dot.kind != TokKind::Punct
+                    || dot.text != "."
+                    || base.kind != TokKind::Ident
+                    || !bases.contains(&base.text.as_str())
+                {
+                    continue;
+                }
+                out.push(
+                    self.id(),
+                    cx.rel_path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}.stats` read between fault draws (lines \
+                         {}..{}): branching on accumulated fault state \
+                         mid-sequence can skip or duplicate a later \
+                         draw and desynchronise the RNG stream",
+                        base.text, first.0, last.0,
+                    ),
+                );
+            }
+        });
+    }
+}

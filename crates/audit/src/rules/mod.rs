@@ -1,26 +1,38 @@
 //! The rule engine.
 //!
-//! Each rule is a pure function over a [`FileContext`] (lexed source +
-//! crate/file classification) or a manifest text. Rules never see the
-//! suppression layer: they emit every violation and [`crate::engine`]
-//! matches findings against `audit:allow` annotations afterwards, so
-//! the "one annotation suppresses one finding" semantics live in one
-//! place.
+//! Rules come in two tiers. A *local* [`Rule`] is a pure function
+//! over a [`FileContext`] (lexed + parsed source with crate/file
+//! classification) or a manifest text. A [`WorkspaceRule`] runs after
+//! every file is scanned, over the merged
+//! [`crate::symbols::WorkspaceIndex`] and
+//! [`crate::callgraph::CallGraph`], and may attribute findings to any
+//! file. Neither tier sees the suppression layer: rules emit every
+//! violation and [`crate::engine`] matches findings against
+//! `audit:allow` annotations afterwards, so the "one annotation
+//! suppresses one finding" semantics live in one place.
 //!
-//! Adding a rule: create a module here, implement [`Rule`], register
-//! it in [`all_rules`], add a fixture under `tests/fixtures/` pinning
-//! its ids, and describe it in `DESIGN.md`.
+//! Adding a rule: create a module here, implement [`Rule`] (register
+//! in [`all_rules`]) or [`WorkspaceRule`] (register in
+//! [`workspace_rules`]), add a fixture under `tests/fixtures/`
+//! pinning its ids, and describe it in `DESIGN.md`.
 
+pub mod contract_impl;
 pub mod env_read;
+pub mod fault_order;
 pub mod fp_reduce;
 pub mod lossy_cast;
 pub mod offline_deps;
 pub mod panic_path;
+pub mod par_purity;
 pub mod unordered;
 pub mod wallclock;
+pub mod wallclock_reach;
 
+use crate::callgraph::CallGraph;
 use crate::findings::{finding_id, CrateClass, FileKind, Finding};
 use crate::lexer::{Tok, TokKind, TestRegions};
+use crate::parser::Ast;
+use crate::symbols::WorkspaceIndex;
 
 /// Everything a source rule may look at for one file.
 pub struct FileContext<'a> {
@@ -37,14 +49,19 @@ pub struct FileContext<'a> {
     pub toks: &'a [Tok],
     /// Source lines (for finding ids).
     pub lines: &'a [&'a str],
-    /// `#[cfg(test)]` line ranges.
+    /// `#[cfg(test)]` line ranges (lexer brace-matcher).
     pub tests: &'a TestRegions,
+    /// The parsed file.
+    pub ast: &'a Ast,
 }
 
 impl FileContext<'_> {
-    /// True when `line` is inside a test item.
+    /// True when `line` is inside a test item. Test attribution is
+    /// structural (AST), with the lexer's brace-matcher kept as a
+    /// belt-and-braces fallback for code outside the parser subset;
+    /// the union can only *exempt* more, never add findings.
     pub fn is_test_line(&self, line: u32) -> bool {
-        self.tests.contains(line)
+        self.tests.contains(line) || self.ast.in_test(line)
     }
 
     /// Trimmed text of a 1-based line (empty if out of range).
@@ -135,7 +152,56 @@ impl Default for RuleOutput {
     }
 }
 
-/// The registered rule set, in reporting order.
+/// An interprocedural rule over the whole workspace.
+pub trait WorkspaceRule: Sync {
+    /// Stable rule id (kebab-case, used in annotations and finding
+    /// ids).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Checks the merged workspace.
+    fn check(
+        &self,
+        index: &WorkspaceIndex,
+        graph: &CallGraph,
+        out: &mut WorkspaceOutput,
+    );
+}
+
+/// Accumulates workspace-rule findings, routed per file so occurrence
+/// ordinals and ids finalize exactly like local findings.
+pub struct WorkspaceOutput {
+    paths: Vec<String>,
+    outs: Vec<RuleOutput>,
+}
+
+impl WorkspaceOutput {
+    /// One slot per scanned file, in scan order.
+    pub fn new(paths: Vec<String>) -> Self {
+        let outs = paths.iter().map(|_| RuleOutput::new()).collect();
+        WorkspaceOutput { paths, outs }
+    }
+
+    /// Records a finding against file index `file`.
+    pub fn push(
+        &mut self,
+        file: usize,
+        rule: &'static str,
+        line: u32,
+        col: u32,
+        message: String,
+    ) {
+        let path = self.paths[file].clone();
+        self.outs[file].push(rule, &path, line, col, message);
+    }
+
+    /// Per-file accumulators, in scan order.
+    pub fn into_outputs(self) -> Vec<RuleOutput> {
+        self.outs
+    }
+}
+
+/// The registered local rule set, in reporting order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(wallclock::NoWallclockEntropy),
@@ -145,6 +211,16 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(lossy_cast::LossyCast),
         Box::new(offline_deps::OfflineDeps),
         Box::new(env_read::NoEnvRead),
+        Box::new(par_purity::ParClosurePurity),
+        Box::new(fault_order::FaultDrawOrder),
+    ]
+}
+
+/// The registered workspace rule set, in reporting order.
+pub fn workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(wallclock_reach::WallclockReachability),
+        Box::new(contract_impl::ContractImpl),
     ]
 }
 

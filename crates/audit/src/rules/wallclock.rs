@@ -14,8 +14,10 @@ use super::{FileContext, Rule, RuleOutput};
 use crate::findings::{CrateClass, FileKind};
 use crate::lexer::TokKind;
 
-/// Identifiers that read the clock or an entropy source.
-const FORBIDDEN: &[&str] = &[
+/// Identifiers that read the clock or an entropy source. Shared with
+/// the interprocedural `wallclock-reachability` rule, whose sinks are
+/// functions containing these tokens.
+pub const FORBIDDEN: &[&str] = &[
     "Instant",
     "SystemTime",
     "RandomState",

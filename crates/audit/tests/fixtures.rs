@@ -145,8 +145,11 @@ fn fp_reduce_flags_shared_state_inside_par_map_args() {
         vec![
             ("sequential-fp-reduce", 8, 16, "sequential-fp-reduce-c21a3c0e"),
             ("sequential-fp-reduce", 13, 35, "sequential-fp-reduce-47de3f79"),
+            ("par-closure-purity", 14, 9, "par-closure-purity-192b54fd"),
         ],
-        "`.lock()` and `unsafe` inside par_map argument lists; the \
+        "`.lock()` and `unsafe` inside par_map argument lists (plus \
+         the captured-static accumulation, which the purity rule sees \
+         structurally); the \
          sequential fold over the returned Vec (line 19-20) is the \
          sanctioned pattern and stays clean"
     );

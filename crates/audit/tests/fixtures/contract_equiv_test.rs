@@ -1,0 +1,6 @@
+//! Fixture: the equivalence registry (a root integration test).
+
+#[test]
+fn registered_policy_is_equivalent() {
+    assert_tick_idle_equivalence("Registered", &mut || Box::new(Registered));
+}

@@ -1,0 +1,68 @@
+//! Fixture: the forecast sanitation contract.
+
+pub trait Forecaster {
+    fn forecast(&mut self, history: &[f64], horizon: usize) -> Vec<f64>;
+}
+
+pub fn sanitize_forecast(values: &mut [f64]) {
+    for v in values.iter_mut() {
+        if !v.is_finite() || *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+pub struct Clamped;
+
+impl Forecaster for Clamped {
+    fn forecast(&mut self, _history: &[f64], horizon: usize) -> Vec<f64> {
+        let mut out = vec![0.0; horizon];
+        sanitize_forecast(&mut out);
+        out
+    }
+}
+
+pub struct Chained;
+
+fn finish(values: &mut [f64]) {
+    sanitize_forecast(values);
+}
+
+impl Forecaster for Chained {
+    fn forecast(&mut self, _history: &[f64], horizon: usize) -> Vec<f64> {
+        let mut out = vec![1.0; horizon];
+        finish(&mut out);
+        out
+    }
+}
+
+pub struct Raw;
+
+impl Forecaster for Raw {
+    fn forecast(&mut self, history: &[f64], horizon: usize) -> Vec<f64> {
+        let last = history.last().copied().unwrap_or(0.0);
+        vec![last; horizon]
+    }
+}
+
+pub struct Tolerated;
+
+impl Forecaster for Tolerated {
+    // audit:allow(contract-impl, reason = "fixture: emits raw values for a differential probe")
+    fn forecast(&mut self, _history: &[f64], horizon: usize) -> Vec<f64> {
+        vec![0.5; horizon]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Forecaster;
+
+    struct TestOnly;
+
+    impl Forecaster for TestOnly {
+        fn forecast(&mut self, _h: &[f64], horizon: usize) -> Vec<f64> {
+            vec![2.0; horizon]
+        }
+    }
+}

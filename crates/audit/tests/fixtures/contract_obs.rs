@@ -1,0 +1,3 @@
+//! Fixture: the telemetry flush anchor.
+
+pub fn flush_thread() {}

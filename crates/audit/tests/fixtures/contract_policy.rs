@@ -1,0 +1,63 @@
+//! Fixture: the `tick_idle` equivalence registry contract.
+
+pub struct IdleRun {
+    pub target: usize,
+    pub ticks: u64,
+}
+
+pub trait ScalingPolicy {
+    fn target_pods(&mut self) -> usize;
+
+    fn tick_idle(&mut self, ticks: u64) -> IdleRun {
+        IdleRun { target: self.target_pods(), ticks }
+    }
+}
+
+pub struct Registered;
+
+impl ScalingPolicy for Registered {
+    fn target_pods(&mut self) -> usize {
+        1
+    }
+
+    fn tick_idle(&mut self, ticks: u64) -> IdleRun {
+        IdleRun { target: 1, ticks }
+    }
+}
+
+pub struct Unregistered;
+
+impl ScalingPolicy for Unregistered {
+    fn target_pods(&mut self) -> usize {
+        0
+    }
+
+    fn tick_idle(&mut self, ticks: u64) -> IdleRun {
+        IdleRun { target: 0, ticks }
+    }
+}
+
+pub struct NoOverride;
+
+impl ScalingPolicy for NoOverride {
+    fn target_pods(&mut self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{IdleRun, ScalingPolicy};
+
+    struct TestPolicy;
+
+    impl ScalingPolicy for TestPolicy {
+        fn target_pods(&mut self) -> usize {
+            3
+        }
+
+        fn tick_idle(&mut self, ticks: u64) -> IdleRun {
+            IdleRun { target: 3, ticks }
+        }
+    }
+}

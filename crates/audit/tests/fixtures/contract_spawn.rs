@@ -1,0 +1,29 @@
+//! Fixture: the worker telemetry flush contract.
+
+pub struct FlushOnExit;
+
+impl Drop for FlushOnExit {
+    fn drop(&mut self) {
+        femux_obs::flush_thread();
+    }
+}
+
+pub fn run_workers(scope: &Scope) {
+    scope.spawn(|| {
+        work();
+        femux_obs::flush_thread();
+    });
+    scope.spawn(|| {
+        let _flush = FlushOnExit;
+        work();
+    });
+    scope.spawn(|| {
+        work();
+    });
+    // audit:allow(contract-impl, reason = "fixture: short-lived probe worker emits no telemetry")
+    scope.spawn(|| probe());
+}
+
+fn work() {}
+
+fn probe() {}

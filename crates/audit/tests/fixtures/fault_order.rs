@@ -1,0 +1,39 @@
+//! Fixture: the per-tick fault draw sequence.
+
+pub fn tick_good(faults: &mut AppFaults, pods: usize) -> usize {
+    let crashed = faults.crash_pod(pods);
+    let _lost = faults.lose_report();
+    let _fate = faults.actuation_fate();
+    pods - crashed
+}
+
+pub fn tick_reordered(faults: &mut AppFaults, pods: usize) {
+    let _lost = faults.lose_report();
+    let _crashed = faults.crash_pod(pods);
+    let _fate = faults.actuation_fate();
+}
+
+pub fn tick_peeking(faults: &mut AppFaults, pods: usize) {
+    let _crashed = faults.crash_pod(pods);
+    let observed = faults.stats.crashes;
+    let _fate = faults.actuation_fate();
+    let _ = (observed, pods);
+}
+
+pub fn allowed_reorder(faults: &mut AppFaults, pods: usize) {
+    let _fate = faults.actuation_fate();
+    // audit:allow(fault-draw-order, reason = "fixture: replays a recorded tail where actuation resolves first")
+    let _crashed = faults.crash_pod(pods);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reordering_in_tests_is_exempt() {
+        let mut faults = AppFaults::test_plan();
+        let _fate = faults.actuation_fate();
+        let _crashed = faults.crash_pod(1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Fixture: closures handed to `femux_par` must stay pure.
+
+pub fn accumulate_bad(items: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let _parts = femux_par::par_map(items, |_i, x| {
+        total += *x;
+        0.0
+    });
+    total
+}
+
+pub fn push_bad(items: &[u64], sink: &mut Vec<u64>) {
+    let _ = femux_par::par_map(items, |i, _x| {
+        sink.push(i);
+        i
+    });
+}
+
+pub fn combine_good(items: &[f64]) -> f64 {
+    let parts = femux_par::par_map(items, |_i, x| x + 1.0);
+    let mut total = 0.0;
+    for p in &parts {
+        total += p;
+    }
+    total
+}
+
+pub fn allowed_accumulate(items: &[u64]) -> u64 {
+    let mut n = 0;
+    // audit:allow(par-closure-purity, reason = "fixture: the multi-line statement below is covered whole")
+    let _ = femux_par::par_map(items, |_i, _x| {
+        n += 1;
+        0
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn accumulation_in_tests_is_exempt() {
+        let mut total = 0.0;
+        let _ = femux_par::par_map(&[1.0], |_i, x| {
+            total += *x;
+            0.0
+        });
+        assert!(total > 0.0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: the runtime helper that actually reads the wall clock.
+//! Runtime crates are exempt from the local lexer rule by design —
+//! measuring time is their job — which is exactly the laundering hole
+//! the reachability rule closes.
+
+use std::time::Instant;
+
+pub fn now_ms() -> u64 {
+    let t = Instant::now();
+    u64::from(t.elapsed().subsec_millis())
+}

@@ -1,0 +1,315 @@
+//! Fixture tests for the v2 rule families (AST + call-graph), pinned
+//! to exact finding ids and positions like `fixtures.rs`.
+//!
+//! The local rules (`par-closure-purity`, `fault-draw-order`) scan a
+//! single file via `audit_source`. The interprocedural rules
+//! (`wallclock-reachability`, `contract-impl`) need a workspace, so
+//! their corpora are assembled from several fixture files and run
+//! through the full two-tier pipeline via `audit_sources`.
+
+use femux_audit::{
+    audit_source, audit_sources, CrateClass, FileKind, SourceSpec,
+    WorkspaceAudit,
+};
+
+fn spec(
+    rel: &str,
+    krate: &str,
+    class: CrateClass,
+    kind: FileKind,
+    text: &str,
+) -> SourceSpec {
+    SourceSpec {
+        rel_path: rel.to_owned(),
+        crate_name: krate.to_owned(),
+        class,
+        kind,
+        is_manifest: false,
+        text: text.to_owned(),
+    }
+}
+
+/// `(rule, line, col, id)` for every unsuppressed finding.
+fn triples(fa: &femux_audit::FileAudit) -> Vec<(&str, u32, u32, &str)> {
+    fa.findings
+        .iter()
+        .map(|f| (f.rule, f.line, f.col, f.id.as_str()))
+        .collect()
+}
+
+/// `(rule, file, line, col, id)` for every unsuppressed finding.
+fn ws_triples(wa: &WorkspaceAudit) -> Vec<(&str, &str, u32, u32, &str)> {
+    wa.findings
+        .iter()
+        .map(|f| (f.rule, f.file.as_str(), f.line, f.col, f.id.as_str()))
+        .collect()
+}
+
+/// `(rule, file, line)` for every suppressed finding.
+fn ws_allowed(wa: &WorkspaceAudit) -> Vec<(&str, &str, u32)> {
+    wa.allowed
+        .iter()
+        .map(|s| (s.finding.rule, s.finding.file.as_str(), s.finding.line))
+        .collect()
+}
+
+#[test]
+fn par_purity_pins_captured_accumulators() {
+    let fa = audit_source(
+        "fixtures/par_purity.rs",
+        "features",
+        CrateClass::Deterministic,
+        FileKind::Lib,
+        include_str!("fixtures/par_purity.rs"),
+    );
+    assert_eq!(
+        triples(&fa),
+        vec![
+            ("par-closure-purity", 6, 9, "par-closure-purity-b1f4a92a"),
+            ("par-closure-purity", 14, 14, "par-closure-purity-4ee52bed"),
+        ],
+        "compound assignment to a captured accumulator and a mutating \
+         method on a captured sink; the sequential reduce in \
+         combine_good and the #[cfg(test)] closure must not fire"
+    );
+    // The annotation sits on its own line above a statement whose
+    // par_map closure spans four more lines; it must cover the `n += 1`
+    // two lines below (the multi-line binding from this PR).
+    assert_eq!(
+        fa.allowed.len(),
+        1,
+        "allowed: {:?}, unused: {:?}",
+        fa.allowed,
+        fa.unused_allows
+    );
+    assert_eq!(fa.allowed[0].finding.line, 32);
+    assert!(fa.unused_allows.is_empty() && fa.malformed_allows.is_empty());
+}
+
+#[test]
+fn par_purity_is_scoped_to_non_test_code() {
+    let fa = audit_source(
+        "fixtures/par_purity.rs",
+        "features",
+        CrateClass::Deterministic,
+        FileKind::Test,
+        include_str!("fixtures/par_purity.rs"),
+    );
+    assert!(
+        fa.findings.is_empty(),
+        "test targets are exempt: {:?}",
+        triples(&fa)
+    );
+}
+
+#[test]
+fn fault_order_pins_inversions_and_mid_sequence_reads() {
+    let fa = audit_source(
+        "fixtures/fault_order.rs",
+        "sim",
+        CrateClass::Deterministic,
+        FileKind::Lib,
+        include_str!("fixtures/fault_order.rs"),
+    );
+    assert_eq!(
+        triples(&fa),
+        vec![
+            ("fault-draw-order", 12, 27, "fault-draw-order-63a93443"),
+            ("fault-draw-order", 18, 27, "fault-draw-order-cd99cf5c"),
+        ],
+        "crash_pod drawn after lose_report, and a .stats read between \
+         draws; tick_good and the #[cfg(test)] reorder must not fire"
+    );
+    assert_eq!(fa.allowed.len(), 1, "allowed: {:?}", fa.allowed);
+    assert_eq!(fa.allowed[0].finding.line, 26);
+    assert!(fa.unused_allows.is_empty() && fa.malformed_allows.is_empty());
+}
+
+#[test]
+fn fault_order_is_scoped_to_deterministic_crates() {
+    let fa = audit_source(
+        "fixtures/fault_order.rs",
+        "bench",
+        CrateClass::Runtime,
+        FileKind::Lib,
+        include_str!("fixtures/fault_order.rs"),
+    );
+    assert!(
+        fa.findings.is_empty(),
+        "runtime crates are exempt: {:?}",
+        triples(&fa)
+    );
+}
+
+#[test]
+fn wallclock_reachability_catches_what_the_lexer_rule_misses() {
+    // The deterministic file is token-clean: the PR 2 lexer rule
+    // (`no-wallclock-entropy`) finds nothing in it, and the runtime
+    // helper is out of that rule's scope entirely. Only the call
+    // graph sees `tick_stamp -> now_ms -> Instant::now`.
+    let wa = audit_sources(vec![
+        spec(
+            "crates/sim/src/reach.rs",
+            "sim",
+            CrateClass::Deterministic,
+            FileKind::Lib,
+            include_str!("fixtures/reach_det.rs"),
+        ),
+        spec(
+            "crates/knative/src/clock.rs",
+            "knative",
+            CrateClass::Runtime,
+            FileKind::Lib,
+            include_str!("fixtures/reach_runtime.rs"),
+        ),
+    ]);
+    assert!(
+        !wa.findings.iter().any(|f| f.rule == "no-wallclock-entropy")
+            && !wa
+                .allowed
+                .iter()
+                .any(|s| s.finding.rule == "no-wallclock-entropy"),
+        "the local lexer rule must NOT see the laundered clock: {:?}",
+        ws_triples(&wa)
+    );
+    assert_eq!(
+        ws_triples(&wa),
+        vec![(
+            "wallclock-reachability",
+            "crates/sim/src/reach.rs",
+            6,
+            20,
+            "wallclock-reachability-9001418b",
+        )]
+    );
+    assert_eq!(
+        ws_allowed(&wa),
+        vec![("wallclock-reachability", "crates/sim/src/reach.rs", 11)]
+    );
+    assert!(wa.unused_allows.is_empty() && wa.malformed_allows.is_empty());
+}
+
+#[test]
+fn wallclock_reachability_stands_down_without_a_sink() {
+    // The deterministic caller alone produces no finding: the call
+    // edge is unresolved without the runtime file in the corpus.
+    let wa = audit_sources(vec![spec(
+        "crates/sim/src/reach.rs",
+        "sim",
+        CrateClass::Deterministic,
+        FileKind::Lib,
+        include_str!("fixtures/reach_det.rs"),
+    )]);
+    assert!(
+        wa.findings.is_empty(),
+        "no sink, no finding: {:?}",
+        ws_triples(&wa)
+    );
+}
+
+fn contract_corpus() -> Vec<SourceSpec> {
+    vec![
+        spec(
+            "crates/obs/src/lib.rs",
+            "obs",
+            CrateClass::Deterministic,
+            FileKind::Lib,
+            include_str!("fixtures/contract_obs.rs"),
+        ),
+        spec(
+            "crates/forecast/src/lib.rs",
+            "forecast",
+            CrateClass::Deterministic,
+            FileKind::Lib,
+            include_str!("fixtures/contract_forecast.rs"),
+        ),
+        spec(
+            "crates/sim/src/policy.rs",
+            "sim",
+            CrateClass::Deterministic,
+            FileKind::Lib,
+            include_str!("fixtures/contract_policy.rs"),
+        ),
+        spec(
+            "tests/tick_idle_equivalence.rs",
+            "",
+            CrateClass::Facade,
+            FileKind::Test,
+            include_str!("fixtures/contract_equiv_test.rs"),
+        ),
+        spec(
+            "crates/par/src/lib.rs",
+            "par",
+            CrateClass::Runtime,
+            FileKind::Lib,
+            include_str!("fixtures/contract_spawn.rs"),
+        ),
+    ]
+}
+
+#[test]
+fn contract_impl_pins_all_three_contracts() {
+    let wa = audit_sources(contract_corpus());
+    assert_eq!(
+        ws_triples(&wa),
+        vec![
+            (
+                "contract-impl",
+                "crates/forecast/src/lib.rs",
+                42,
+                8,
+                "contract-impl-7e5f08e3",
+            ),
+            (
+                "contract-impl",
+                "crates/par/src/lib.rs",
+                20,
+                17,
+                "contract-impl-4642e9f0",
+            ),
+            (
+                "contract-impl",
+                "crates/sim/src/policy.rs",
+                35,
+                8,
+                "contract-impl-0fd6af50",
+            ),
+        ],
+        "Raw::forecast never sanitizes, Unregistered::tick_idle has no \
+         equivalence test, and the third spawn closure never flushes; \
+         Clamped/Chained/Registered/NoOverride, the guard and direct \
+         flush closures, and every #[cfg(test)] impl must not fire"
+    );
+    assert_eq!(
+        ws_allowed(&wa),
+        vec![
+            ("contract-impl", "crates/forecast/src/lib.rs", 52),
+            ("contract-impl", "crates/par/src/lib.rs", 24),
+        ],
+        "Tolerated::forecast and the probe worker are annotated"
+    );
+    assert!(wa.unused_allows.is_empty() && wa.malformed_allows.is_empty());
+}
+
+#[test]
+fn contract_impl_registry_lives_in_test_files() {
+    // Dropping the integration-test file from the corpus must flag
+    // Registered::tick_idle too: registration only counts because the
+    // symbol table also indexes test targets.
+    let corpus: Vec<SourceSpec> = contract_corpus()
+        .into_iter()
+        .filter(|s| s.kind != FileKind::Test)
+        .collect();
+    let wa = audit_sources(corpus);
+    let registered: Vec<_> = wa
+        .findings
+        .iter()
+        .filter(|f| f.rule == "contract-impl" && f.message.contains("Registered"))
+        .map(|f| (f.file.clone(), f.line))
+        .collect();
+    assert!(
+        !registered.is_empty(),
+        "without the registry file, Registered must be flagged: {:?}",
+        ws_triples(&wa)
+    );
+}

@@ -1,0 +1,41 @@
+//! Audit-throughput benchmark: one full workspace scan through the v2
+//! pipeline (lex, parse, per-file rules in parallel, then symbol
+//! table, call graph, and interprocedural rules), at 1 and 8 threads.
+//!
+//! The CI perf job records this next to the simulator numbers so the
+//! analysis stage has an explicit budget: a full-workspace scan must
+//! stay well under 5 s, or the audit gate starts taxing every push.
+//!
+//! Run with `cargo bench --bench audit_full_workspace`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use femux_audit::{find_workspace_root, render_json, scan_workspace};
+use std::hint::black_box;
+use std::path::Path;
+
+fn bench_audit_full_workspace(c: &mut Criterion) {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    // One warm-up scan outside measurement, doubling as a sanity
+    // check that the tree under benchmark actually audits clean.
+    let warm = scan_workspace(&root).expect("scan");
+    assert!(warm.files_scanned > 100, "walk found the workspace");
+
+    let mut group = c.benchmark_group("audit_full_workspace");
+    for threads in [1usize, 8] {
+        group.bench_function(format!("t{threads}"), |b| {
+            let _guard = femux_par::override_threads(threads);
+            b.iter(|| black_box(scan_workspace(black_box(&root)).expect("scan")))
+        });
+    }
+    group.bench_function("t8_json", |b| {
+        let _guard = femux_par::override_threads(8);
+        b.iter(|| {
+            render_json(&black_box(scan_workspace(black_box(&root)).expect("scan")))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit_full_workspace);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! `tick_idle` equivalence harness.
+//!
+//! [`crate::policy::ScalingPolicy::tick_idle`] lets a policy answer an
+//! idle stretch in one call instead of once per tick. Its contract is
+//! strict: the fast path must leave the policy in the same state and
+//! produce the same decisions as calling `target_pods` every tick —
+//! otherwise the event-queue engine and the frozen per-tick reference
+//! diverge and every downstream number silently drifts.
+//!
+//! [`assert_tick_idle_equivalence`] is the machine-checked form of that
+//! contract: it replays a battery of idle-heavy scenarios through both
+//! engines and asserts the full [`SimResult`] is `Debug`-identical.
+//! The `femux-audit` `contract-impl` rule requires every policy that
+//! overrides `tick_idle` to be registered in a call to this function
+//! (the workspace test lives in `tests/tick_idle_equivalence.rs`), so
+//! adding an idle fast path without proving it equivalent fails CI.
+
+use femux_trace::types::{AppId, AppRecord, Invocation, WorkloadKind};
+
+use crate::engine::{simulate_app, SimConfig};
+use crate::policy::ScalingPolicy;
+use crate::tickwise::simulate_app_tickwise;
+
+/// One synthetic scenario: `(name, app, span_ms)`.
+fn scenarios() -> Vec<(&'static str, AppRecord, u64)> {
+    const HOUR: u64 = 3_600_000;
+    let inv = |start_ms: u64, duration_ms: u32| Invocation {
+        start_ms,
+        duration_ms,
+        delay_ms: 0,
+    };
+    let mut out = Vec::new();
+
+    // Busy opening, then five-plus idle hours: saturates every
+    // policy's history window with zeros so the idle fast path
+    // engages, then nothing disturbs it until the span ends.
+    let mut app = AppRecord::new(AppId(1), WorkloadKind::Application);
+    for k in 0..60 {
+        app.invocations.push(inv(k * 30_000, 500));
+    }
+    out.push(("busy-then-silent", app, 6 * HOUR));
+
+    // Sparse heartbeat: one short request every 20 minutes. The idle
+    // fast path starts and stops around each arrival, exercising the
+    // re-entry bookkeeping.
+    let mut app = AppRecord::new(AppId(2), WorkloadKind::Function);
+    app.config.concurrency = 1;
+    for k in 0..18 {
+        app.invocations.push(inv(k * 20 * 60_000, 200));
+    }
+    out.push(("sparse-heartbeat", app, 6 * HOUR));
+
+    // Idle bracket: silence, a concurrent burst mid-span, silence.
+    // Fast-forwarding must hand control back exactly at the burst.
+    let mut app = AppRecord::new(AppId(3), WorkloadKind::Application);
+    for k in 0..40 {
+        app.invocations.push(inv(3 * HOUR + k * 50, 2_000));
+    }
+    out.push(("idle-burst-idle", app, 6 * HOUR));
+
+    // Min-scale floor with no traffic at all: the longest possible
+    // idle run, held above zero by configuration.
+    let mut app = AppRecord::new(AppId(4), WorkloadKind::Application);
+    app.config.min_scale = 1;
+    out.push(("all-idle-min-scale", app, 6 * HOUR));
+
+    // Empty app, scale-to-zero: the degenerate all-idle run.
+    let app = AppRecord::new(AppId(5), WorkloadKind::Function);
+    out.push(("all-idle-empty", app, 6 * HOUR));
+
+    out
+}
+
+/// Asserts that the policy built by `mk` makes byte-identical
+/// decisions through the event-queue engine (idle fast path via
+/// `tick_idle`) and the frozen per-tick reference engine, across the
+/// idle-heavy scenario battery and both evaluation intervals.
+///
+/// `mk` is called once per engine per case so each run starts from a
+/// fresh policy (policies are stateful).
+///
+/// # Panics
+///
+/// Panics with the scenario, interval and first divergence when the
+/// fast path is not equivalent.
+pub fn assert_tick_idle_equivalence(
+    name: &str,
+    mk: &mut dyn FnMut() -> Box<dyn ScalingPolicy>,
+) {
+    for (scenario, app, span_ms) in scenarios() {
+        for interval_ms in [60_000, 10_000] {
+            let cfg = SimConfig {
+                interval_ms,
+                record_delays: true,
+                ..SimConfig::default()
+            };
+            let fast = simulate_app(&app, mk().as_mut(), span_ms, &cfg);
+            let slow =
+                simulate_app_tickwise(&app, mk().as_mut(), span_ms, &cfg);
+            assert_eq!(
+                format!("{fast:?}"),
+                format!("{slow:?}"),
+                "policy `{name}`: tick_idle fast path diverges from \
+                 per-tick decisions (scenario `{scenario}`, interval \
+                 {interval_ms} ms)",
+            );
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! contract.
 
 pub mod engine;
+pub mod equiv;
 pub mod fleet;
 pub mod policy;
 pub mod tickwise;
@@ -36,4 +37,5 @@ pub use policy::{
     FixedPolicy, ForecastPolicy, IdleRun, IdleTicks, KeepAlivePolicy,
     KnativeDefaultPolicy, PolicyCtx, ScalingPolicy, ZeroPolicy,
 };
+pub use equiv::assert_tick_idle_equivalence;
 pub use tickwise::simulate_app_tickwise;

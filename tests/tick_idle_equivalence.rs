@@ -1,0 +1,107 @@
+//! `tick_idle` equivalence registry.
+//!
+//! Every policy that overrides [`femux_sim::ScalingPolicy::tick_idle`]
+//! must prove the idle fast path byte-identical to per-tick decisions
+//! by appearing in an `assert_tick_idle_equivalence` call. The
+//! `femux-audit` `contract-impl` rule enforces membership: a new
+//! `tick_idle` override that is not registered here fails the audit
+//! gate. The harness itself (scenario battery, both engines, both
+//! intervals) lives in `femux_sim::equiv`.
+
+use std::sync::Arc;
+
+use femux::config::FemuxConfig;
+use femux::manager::FemuxPolicy;
+use femux::model::{train, ClassifierKind, FemuxModel, TrainApp};
+use femux_baselines::{
+    AquatopePolicy, HybridHistogramPolicy, IceBreakerPolicy,
+};
+use femux_forecast::simple::MovingAverageForecaster;
+use femux_knative::integration::FemuxKnativePolicy;
+use femux_knative::kpa::{KpaConfig, KpaPolicy};
+use femux_sim::{
+    assert_tick_idle_equivalence, FixedPolicy, ForecastPolicy,
+    KeepAlivePolicy, KnativeDefaultPolicy, ZeroPolicy,
+};
+use femux_trace::repr::concurrency_per_minute;
+use femux_trace::synth::ibm::{generate, IbmFleetConfig};
+
+/// Trains a small FeMux model for the FeMux-family policies (the
+/// harness checks idle-path equivalence, not forecast quality).
+fn model() -> Arc<FemuxModel> {
+    let trace = generate(&IbmFleetConfig::small(0x71DE));
+    let cfg = FemuxConfig::for_tests();
+    let apps: Vec<TrainApp> = trace
+        .apps
+        .iter()
+        .step_by(25)
+        .map(|a| TrainApp {
+            concurrency: concurrency_per_minute(
+                &a.invocations,
+                trace.span_ms,
+            ),
+            exec_secs: 0.5,
+            mem_gb: 0.5,
+            pod_concurrency: 1,
+        })
+        .collect();
+    Arc::new(train(&apps, &cfg, ClassifierKind::KMeans).expect("model"))
+}
+
+#[test]
+fn sim_policies_fast_forward_equivalently() {
+    assert_tick_idle_equivalence("KeepAlivePolicy", &mut || {
+        Box::new(KeepAlivePolicy::five_minutes())
+    });
+    assert_tick_idle_equivalence("KnativeDefaultPolicy", &mut || {
+        Box::new(KnativeDefaultPolicy)
+    });
+    assert_tick_idle_equivalence("ForecastPolicy", &mut || {
+        Box::new(ForecastPolicy::new(Box::new(
+            MovingAverageForecaster::knative(),
+        )))
+    });
+    assert_tick_idle_equivalence("FixedPolicy", &mut || {
+        Box::new(FixedPolicy(2))
+    });
+    assert_tick_idle_equivalence("ZeroPolicy", &mut || {
+        Box::new(ZeroPolicy)
+    });
+}
+
+#[test]
+fn knative_policies_fast_forward_equivalently() {
+    assert_tick_idle_equivalence("KpaPolicy", &mut || {
+        Box::new(KpaPolicy::new(KpaConfig::default()))
+    });
+    let model = model();
+    assert_tick_idle_equivalence("FemuxKnativePolicy", &mut || {
+        Box::new(FemuxKnativePolicy::new(Arc::clone(&model), 0.5))
+    });
+}
+
+#[test]
+fn femux_manager_fast_forwards_equivalently() {
+    let model = model();
+    assert_tick_idle_equivalence("FemuxPolicy", &mut || {
+        Box::new(FemuxPolicy::new(Arc::clone(&model), 0.5))
+    });
+}
+
+#[test]
+fn baseline_policies_fast_forward_equivalently() {
+    // Aquatope trains a Gaussian-process surrogate on an arrival
+    // series; a deterministic diurnal-ish ramp is representative.
+    let arrivals: Vec<f64> = (0..240)
+        .map(|i| ((i % 60) as f64 / 10.0).floor())
+        .collect();
+    assert_tick_idle_equivalence("AquatopePolicy", &mut || {
+        Box::new(AquatopePolicy::train(&arrivals, 0xAC0A).0)
+    });
+    assert_tick_idle_equivalence("HybridHistogramPolicy", &mut || {
+        Box::new(HybridHistogramPolicy::new())
+    });
+    assert_tick_idle_equivalence("IceBreakerPolicy", &mut || {
+        Box::new(IceBreakerPolicy::new())
+    });
+}
