@@ -1,7 +1,7 @@
 //! `contract-impl`: trait impls must complete the workspace's semantic
 //! contracts, not just typecheck against the trait.
 //!
-//! Three contracts, each checked over the call graph:
+//! Four contracts, each checked over the call graph:
 //!
 //! 1. **Forecaster sanitation** — `Forecaster::forecast` returns
 //!    "clamped, exactly `horizon` entries" per the trait docs, and the
@@ -23,10 +23,17 @@
 //!    deterministic crate must reach `flush_thread`, either by calling
 //!    into it or by instantiating a guard type whose `Drop` impl does
 //!    (e.g. `FlushOnExit`).
+//! 4. **Span guard discipline** — `femux_obs::span` exposes the raw
+//!    [`open_span`]/[`close_span`] pair only so the `SpanGuard` Drop
+//!    guard can be built on top of it. A deterministic crate that
+//!    calls the raw pair directly can leak an open span on an early
+//!    return or panic, corrupting the trace's begin/end pairing; every
+//!    span-opening site outside `femux_obs` must go through
+//!    `SpanGuard`, whose `Drop` closes the span on every path.
 //!
-//! Contracts 1 and 3 anchor on a concrete function; when the corpus
-//! does not define that function (reduced fixtures, partial scans) the
-//! sub-check stands down rather than flagging the whole corpus.
+//! Contracts 1, 3, and 4 anchor on concrete functions; when the corpus
+//! does not define those functions (reduced fixtures, partial scans)
+//! the sub-check stands down rather than flagging the whole corpus.
 
 use std::collections::BTreeSet;
 
@@ -45,7 +52,8 @@ impl WorkspaceRule for ContractImpl {
 
     fn describe(&self) -> &'static str {
         "trait impls must complete their semantic contract: forecast \
-         sanitation, tick_idle equivalence tests, worker flush"
+         sanitation, tick_idle equivalence tests, worker flush, span \
+         guard discipline"
     }
 
     fn check(
@@ -57,6 +65,7 @@ impl WorkspaceRule for ContractImpl {
         check_forecast_sanitation(self.id(), index, graph, out);
         check_tick_idle_registry(self.id(), index, out);
         check_worker_flush(self.id(), index, graph, out);
+        check_span_guard(self.id(), index, out);
     }
 }
 
@@ -194,6 +203,54 @@ fn check_worker_flush(
                      die with the worker — call it before exit or \
                      hold a flush guard",
                     node.display(),
+                ),
+            );
+        }
+    }
+}
+
+fn check_span_guard(
+    rule: &'static str,
+    index: &WorkspaceIndex,
+    out: &mut WorkspaceOutput,
+) {
+    let mut raw = anchors(index, "obs", "open_span");
+    raw.extend(anchors(index, "obs", "close_span"));
+    if raw.is_empty() {
+        return;
+    }
+    for (i, node) in index.nodes.iter().enumerate() {
+        // `femux_obs` itself builds `SpanGuard` from the raw pair; the
+        // contract binds everyone else in the deterministic tier.
+        if node.class != CrateClass::Deterministic
+            || node.crate_name == "obs"
+            || !node.traversable()
+        {
+            continue;
+        }
+        for call in &node.info.calls {
+            let last = call.path.last().map(String::as_str);
+            let hit = matches!(last, Some("open_span" | "close_span"))
+                || resolve(index, i, call)
+                    .0
+                    .iter()
+                    .any(|c| raw.contains(c));
+            if !hit {
+                continue;
+            }
+            out.push(
+                node.file,
+                rule,
+                call.line,
+                call.col,
+                format!(
+                    "`{}` calls the raw span primitive `{}` from a \
+                     deterministic crate: an early return or panic \
+                     leaks the open span — hold a \
+                     `femux_obs::span::SpanGuard` instead (its `Drop` \
+                     closes the span on every path)",
+                    node.display(),
+                    last.unwrap_or("open_span"),
                 ),
             );
         }

@@ -1,3 +1,33 @@
-//! Fixture: the telemetry flush anchor.
+//! Fixture: the telemetry flush anchor and the raw span primitives
+//! the span-guard contract anchors on. `SpanGuard` is the sanctioned
+//! wrapper — its `Drop` closes the span on every path.
 
 pub fn flush_thread() {}
+
+pub struct OpenSpan;
+
+pub fn open_span() -> OpenSpan {
+    OpenSpan
+}
+
+pub fn close_span(_open: OpenSpan) {}
+
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    pub fn open() -> SpanGuard {
+        SpanGuard {
+            open: Some(open_span()),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            close_span(open);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: the span-guard contract in a deterministic crate.
+
+pub fn guarded_span() {
+    let _span = femux_obs::span::SpanGuard::open();
+    work();
+}
+
+pub fn leaky_span() {
+    let open = femux_obs::span::open_span();
+    work();
+    femux_obs::span::close_span(open);
+}
+
+// audit:allow(contract-impl, reason = "fixture: straight-line block, no early exit between open and close")
+pub fn measured_open() -> femux_obs::span::OpenSpan {
+    femux_obs::span::open_span()
+}
+
+fn work() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn bench_span() {
+        let open = femux_obs::span::open_span();
+        femux_obs::span::close_span(open);
+    }
+}

@@ -244,11 +244,18 @@ fn contract_corpus() -> Vec<SourceSpec> {
             FileKind::Lib,
             include_str!("fixtures/contract_spawn.rs"),
         ),
+        spec(
+            "crates/sim/src/span_probe.rs",
+            "sim",
+            CrateClass::Deterministic,
+            FileKind::Lib,
+            include_str!("fixtures/contract_span.rs"),
+        ),
     ]
 }
 
 #[test]
-fn contract_impl_pins_all_three_contracts() {
+fn contract_impl_pins_all_four_contracts() {
     let wa = audit_sources(contract_corpus());
     assert_eq!(
         ws_triples(&wa),
@@ -274,19 +281,37 @@ fn contract_impl_pins_all_three_contracts() {
                 8,
                 "contract-impl-0fd6af50",
             ),
+            (
+                "contract-impl",
+                "crates/sim/src/span_probe.rs",
+                9,
+                33,
+                "contract-impl-4c8d2683",
+            ),
+            (
+                "contract-impl",
+                "crates/sim/src/span_probe.rs",
+                11,
+                22,
+                "contract-impl-b2d8ea77",
+            ),
         ],
         "Raw::forecast never sanitizes, Unregistered::tick_idle has no \
-         equivalence test, and the third spawn closure never flushes; \
+         equivalence test, the third spawn closure never flushes, and \
+         leaky_span calls both raw span primitives; \
          Clamped/Chained/Registered/NoOverride, the guard and direct \
-         flush closures, and every #[cfg(test)] impl must not fire"
+         flush closures, guarded_span's SpanGuard, the obs crate's own \
+         primitives, and every #[cfg(test)] site must not fire"
     );
     assert_eq!(
         ws_allowed(&wa),
         vec![
             ("contract-impl", "crates/forecast/src/lib.rs", 52),
             ("contract-impl", "crates/par/src/lib.rs", 24),
+            ("contract-impl", "crates/sim/src/span_probe.rs", 16),
         ],
-        "Tolerated::forecast and the probe worker are annotated"
+        "Tolerated::forecast, the probe worker, and measured_open are \
+         annotated"
     );
     assert!(wa.unused_allows.is_empty() && wa.malformed_allows.is_empty());
 }

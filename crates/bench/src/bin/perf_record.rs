@@ -5,12 +5,15 @@
 //! IBM-like fleet, and a bursty Azure-like fleet — run through both the
 //! event-queue engine (`simulate_app`) and the frozen pre-event-queue
 //! per-tick reference (`simulate_app_tickwise`), per policy, recording
-//! wall time and simulated invocations/second. Case order is fixed, so
-//! the document layout is deterministic; only the two wall-derived
-//! fields vary between machines.
+//! wall time and simulated invocations/second. One extra case re-runs
+//! the dense fleet with every invocation's lifecycle span sampled
+//! (engine `event-spans`), pairing with its spans-off twin so the
+//! layer's overhead is priced in the committed baseline. Case order is
+//! fixed, so the document layout is deterministic; only the two
+//! wall-derived fields vary between machines.
 //!
 //! Usage: `perf_record [--quick] [--schema-only] [--out PATH]
-//! [--check PATH]`
+//! [--check PATH] [--compare PATH [--tolerance T]]`
 //!
 //! - `--quick`: smaller fleets (CI-sized; identical case labels).
 //! - `--schema-only`: skip the simulations and zero the wall-derived
@@ -21,6 +24,11 @@
 //!   baseline) carries the current schema version, every expected
 //!   (fleet, policy, engine) case, and the wall fields; exits nonzero
 //!   on drift without recording anything.
+//! - `--compare PATH`: run the cases fresh and diff `inv_per_sec`
+//!   against the baseline at PATH, case by case; exits nonzero if any
+//!   case falls below `baseline × (1 − tolerance)`. `--tolerance`
+//!   defaults to 0.6 — a wide band, because CI machines differ from
+//!   the recording machine; the gate catches collapses, not noise.
 
 use std::fmt::Write as _;
 
@@ -32,9 +40,27 @@ use femux_trace::synth::azure::{self, AzureFleetConfig};
 use femux_trace::synth::ibm::{self, IbmFleetConfig};
 use femux_trace::types::Trace;
 
-const SCHEMA: &str = "femux-bench-sim/v1";
+const SCHEMA: &str = "femux-bench-sim/v2";
 const ENGINES: [&str; 2] = ["event", "tickwise"];
 const POLICIES: [&str; 2] = ["keepalive-10min", "knative-default"];
+const FLEET_NAMES: [&str; 3] =
+    ["ibm-dense-3d", "ibm-sparse-62d", "azure-bursty-4d"];
+
+/// `(fleet, policy, engine)` labels in recorded order: the full
+/// fleet × policy × engine grid, then the span-overhead case that
+/// pairs with `(ibm-dense-3d, keepalive-10min, event)`.
+fn case_labels() -> Vec<(&'static str, &'static str, &'static str)> {
+    let mut labels = Vec::new();
+    for fleet in FLEET_NAMES {
+        for policy in POLICIES {
+            for engine in ENGINES {
+                labels.push((fleet, policy, engine));
+            }
+        }
+    }
+    labels.push(("ibm-dense-3d", "keepalive-10min", "event-spans"));
+    labels
+}
 
 fn build_policy(name: &str) -> Box<dyn ScalingPolicy> {
     match name {
@@ -93,7 +119,17 @@ fn run_case(
     engine: &'static str,
     schema_only: bool,
 ) -> CaseRecord {
-    let cfg = SimConfig::default();
+    let cfg = match engine {
+        // The overhead case: sample every invocation's lifecycle span
+        // (telemetry switches stay off, so this prices exactly the
+        // always-on part of the layer — sampling, cause derivation,
+        // span recording).
+        "event-spans" => SimConfig {
+            spans: Some(femux_obs::span::SpanConfig::all(0x5EED)),
+            ..SimConfig::default()
+        },
+        _ => SimConfig::default(),
+    };
     let (wall_ms, inv_per_sec) = if schema_only {
         (0.0, 0.0)
     } else {
@@ -102,15 +138,13 @@ fn run_case(
         for app in &trace.apps {
             let mut p = build_policy(policy);
             let res = match engine {
-                "event" => {
-                    simulate_app(app, p.as_mut(), trace.span_ms, &cfg)
-                }
-                _ => simulate_app_tickwise(
+                "tickwise" => simulate_app_tickwise(
                     app,
                     p.as_mut(),
                     trace.span_ms,
                     &cfg,
                 ),
+                _ => simulate_app(app, p.as_mut(), trace.span_ms, &cfg),
             };
             simulated += res.costs.invocations;
         }
@@ -169,32 +203,115 @@ fn check(text: &str) -> Result<(), String> {
     if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
         return Err(format!("schema marker missing (expected {SCHEMA})"));
     }
-    let fleet_names =
-        ["ibm-dense-3d", "ibm-sparse-62d", "azure-bursty-4d"];
-    let mut expected = 0;
-    for fleet in fleet_names {
-        for policy in POLICIES {
-            for engine in ENGINES {
-                expected += 1;
-                let needle = format!(
-                    "\"fleet\": \"{fleet}\", \"policy\": \"{policy}\", \
-                     \"engine\": \"{engine}\"",
-                );
-                if !text.contains(&needle) {
-                    return Err(format!("case missing: {needle}"));
-                }
-            }
+    let labels = case_labels();
+    for (fleet, policy, engine) in &labels {
+        let needle = format!(
+            "\"fleet\": \"{fleet}\", \"policy\": \"{policy}\", \
+             \"engine\": \"{engine}\"",
+        );
+        if !text.contains(&needle) {
+            return Err(format!("case missing: {needle}"));
         }
     }
     for field in ["\"wall_ms\":", "\"inv_per_sec\":"] {
         let n = text.matches(field).count();
-        if n != expected {
+        if n != labels.len() {
             return Err(format!(
-                "{field} appears {n} times, expected {expected}"
+                "{field} appears {n} times, expected {}",
+                labels.len()
             ));
         }
     }
     Ok(())
+}
+
+/// The baseline's `inv_per_sec` for one case, by label lookup.
+fn baseline_inv_per_sec(
+    text: &str,
+    fleet: &str,
+    policy: &str,
+    engine: &str,
+) -> Option<f64> {
+    let needle = format!(
+        "\"fleet\": \"{fleet}\", \"policy\": \"{policy}\", \
+         \"engine\": \"{engine}\"",
+    );
+    let rest = &text[text.find(&needle)?..];
+    let rest = &rest[..rest.find('}')?];
+    let pat = "\"inv_per_sec\": ";
+    let start = rest.find(pat)? + pat.len();
+    let num: String = rest[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}
+
+/// Diffs fresh measurements against the committed baseline. Returns the
+/// regressed case labels (fresh below `baseline × (1 − tolerance)`).
+fn compare(
+    baseline: &str,
+    fresh: &[CaseRecord],
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let mut regressions = Vec::new();
+    println!(
+        "{:<16} {:<16} {:<12} {:>14} {:>14} {:>7}",
+        "fleet", "policy", "engine", "baseline i/s", "fresh i/s", "ratio"
+    );
+    for c in fresh {
+        let base = baseline_inv_per_sec(
+            baseline, c.fleet, c.policy, c.engine,
+        )
+        .ok_or_else(|| {
+            format!(
+                "baseline lacks case {}/{}/{} (re-record it?)",
+                c.fleet, c.policy, c.engine
+            )
+        })?;
+        let ratio = if base > 0.0 { c.inv_per_sec / base } else { 1.0 };
+        println!(
+            "{:<16} {:<16} {:<12} {:>14.0} {:>14.0} {:>7.2}",
+            c.fleet, c.policy, c.engine, base, c.inv_per_sec, ratio
+        );
+        if base > 0.0 && c.inv_per_sec < base * (1.0 - tolerance) {
+            regressions.push(format!(
+                "{}/{}/{}: {:.0} inv/s vs baseline {:.0} \
+                 (floor {:.0})",
+                c.fleet,
+                c.policy,
+                c.engine,
+                c.inv_per_sec,
+                base,
+                base * (1.0 - tolerance),
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+fn run_all_cases(quick: bool, schema_only: bool) -> Vec<CaseRecord> {
+    // Consume each fleet in turn so its trace drops before the next
+    // fleet's cases run: the short sparse/azure cases otherwise measure
+    // allocator refill against ~10^6 dense-fleet events still resident,
+    // which inflates their wall time ~2x.
+    let labels = case_labels();
+    let mut cases = Vec::new();
+    for (fleet, trace) in fleets(quick) {
+        for (_, policy, engine) in
+            labels.iter().filter(|(f, _, _)| *f == fleet)
+        {
+            eprintln!("running {fleet} / {policy} / {engine} ...");
+            cases.push(run_case(
+                fleet,
+                &trace,
+                policy,
+                engine,
+                schema_only,
+            ));
+        }
+    }
+    cases
 }
 
 fn main() {
@@ -202,6 +319,8 @@ fn main() {
     let mut schema_only = false;
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut tolerance = 0.6f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -213,6 +332,17 @@ fn main() {
             "--check" => {
                 check_path =
                     Some(args.next().expect("--check needs a path"));
+            }
+            "--compare" => {
+                compare_path =
+                    Some(args.next().expect("--compare needs a path"));
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a value")
+                    .parse()
+                    .expect("--tolerance needs a number in [0, 1)");
             }
             other => panic!("unknown argument {other}"),
         }
@@ -233,21 +363,36 @@ fn main() {
         }
     }
 
-    let mut cases = Vec::new();
-    for (fleet, trace) in fleets(quick) {
-        for policy in POLICIES {
-            for engine in ENGINES {
-                eprintln!("running {fleet} / {policy} / {engine} ...");
-                cases.push(run_case(
-                    fleet,
-                    &trace,
-                    policy,
-                    engine,
-                    schema_only,
-                ));
+    if let Some(path) = compare_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        if let Err(msg) = check(&baseline) {
+            eprintln!("{path}: schema drift: {msg}");
+            std::process::exit(1);
+        }
+        let fresh = run_all_cases(quick, false);
+        match compare(&baseline, &fresh, tolerance) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!(
+                    "{path}: all {} cases within tolerance {tolerance}",
+                    fresh.len()
+                );
+                return;
+            }
+            Ok(regressions) => {
+                for r in &regressions {
+                    eprintln!("perf regression: {r}");
+                }
+                std::process::exit(1);
+            }
+            Err(msg) => {
+                eprintln!("{path}: {msg}");
+                std::process::exit(1);
             }
         }
     }
+
+    let cases = run_all_cases(quick, schema_only);
     let doc = render(&cases);
     debug_assert!(check(&doc).is_ok(), "self-check must pass");
     match out_path {
@@ -257,5 +402,80 @@ fn main() {
             eprintln!("wrote {path}");
         }
         None => print!("{doc}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_doc(slow: bool) -> String {
+        let cases: Vec<CaseRecord> = case_labels()
+            .into_iter()
+            .map(|(fleet, policy, engine)| CaseRecord {
+                fleet,
+                policy,
+                engine,
+                apps: 1,
+                invocations: 10,
+                span_ms: 1000,
+                wall_ms: 1.0,
+                inv_per_sec: if slow { 100.0 } else { 1000.0 },
+            })
+            .collect();
+        render(&cases)
+    }
+
+    #[test]
+    fn self_check_accepts_the_rendered_grid() {
+        assert!(check(&fake_doc(false)).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_a_missing_span_overhead_case() {
+        let doc = fake_doc(false).replace("event-spans", "event-gone");
+        assert!(check(&doc).unwrap_err().contains("case missing"));
+    }
+
+    #[test]
+    fn baseline_lookup_finds_each_case_exactly() {
+        let doc = fake_doc(false);
+        for (fleet, policy, engine) in case_labels() {
+            assert_eq!(
+                baseline_inv_per_sec(&doc, fleet, policy, engine),
+                Some(1000.0)
+            );
+        }
+        assert_eq!(
+            baseline_inv_per_sec(&doc, "no-such-fleet", "p", "e"),
+            None
+        );
+    }
+
+    #[test]
+    fn compare_flags_only_cases_below_the_tolerance_floor() {
+        let baseline = fake_doc(false); // 1000 inv/s everywhere
+        let fresh: Vec<CaseRecord> = case_labels()
+            .into_iter()
+            .map(|(fleet, policy, engine)| CaseRecord {
+                fleet,
+                policy,
+                engine,
+                apps: 1,
+                invocations: 10,
+                span_ms: 1000,
+                wall_ms: 1.0,
+                // One collapsed case, the rest well inside the band.
+                inv_per_sec: if engine == "event-spans" {
+                    100.0
+                } else {
+                    900.0
+                },
+            })
+            .collect();
+        let regressions = compare(&baseline, &fresh, 0.6).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("event-spans"));
+        assert!(compare(&baseline, &fresh, 0.95).unwrap().is_empty());
     }
 }

@@ -8,13 +8,20 @@
 //! - `--trace-out <path>`: additionally record trace events and write
 //!   Chrome trace-event JSON (load in `chrome://tracing` or Perfetto);
 //! - `--obs-profile`: additionally record `wall.*` wall-clock metrics
-//!   (waives the byte-identical guarantee for those metrics alone).
+//!   (waives the byte-identical guarantee for those metrics alone);
+//! - `--span-sample <rate>`: sample per-invocation lifecycle spans at
+//!   the given rate (0 disables the layer entirely; 1 samples every
+//!   invocation), seeded by `--span-seed` (default 0x5EED);
+//! - `--span-out <path>`: write the sampled spans as a JSON-lines
+//!   table (implies event recording, like `--trace-out`).
 //!
 //! With none of the flags present, nothing is enabled and the binary's
 //! output is byte-identical to an uninstrumented build. Flag parsing
 //! lives here — in the `Runtime`-class bench crate — because the
 //! deterministic crates are forbidden to read ambient state; they only
-//! ever see the process-global switches this session sets.
+//! ever see the process-global switches this session sets (the span
+//! config travels through [`femux_obs::span::set_ambient`], which the
+//! fleet runner folds into each `SimConfig`).
 
 use std::path::PathBuf;
 
@@ -23,6 +30,7 @@ use std::path::PathBuf;
 pub struct ObsSession {
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    span_out: Option<PathBuf>,
 }
 
 /// Opens the session from the process arguments.
@@ -33,26 +41,64 @@ pub fn session() -> ObsSession {
 fn from_args<I: Iterator<Item = String>>(mut args: I) -> ObsSession {
     let mut metrics_out = None;
     let mut trace_out = None;
+    let mut span_out = None;
+    let mut span_rate = 0.0f64;
+    let mut span_seed = 0x5EEDu64;
     let mut profile = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics-out" => metrics_out = args.next().map(PathBuf::from),
             "--trace-out" => trace_out = args.next().map(PathBuf::from),
+            "--span-out" => span_out = args.next().map(PathBuf::from),
+            "--span-sample" => {
+                span_rate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0);
+            }
+            "--span-seed" => {
+                span_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(span_seed);
+            }
             "--obs-profile" => profile = true,
             _ => {
                 if let Some(v) = arg.strip_prefix("--metrics-out=") {
                     metrics_out = Some(PathBuf::from(v));
                 } else if let Some(v) = arg.strip_prefix("--trace-out=") {
                     trace_out = Some(PathBuf::from(v));
+                } else if let Some(v) = arg.strip_prefix("--span-out=") {
+                    span_out = Some(PathBuf::from(v));
+                } else if let Some(v) = arg.strip_prefix("--span-sample=")
+                {
+                    span_rate = v.parse().unwrap_or(0.0);
+                } else if let Some(v) = arg.strip_prefix("--span-seed=") {
+                    span_seed = v.parse().unwrap_or(span_seed);
                 }
                 // Anything else belongs to the binary itself.
             }
         }
     }
-    let on = metrics_out.is_some() || trace_out.is_some();
+    let on = metrics_out.is_some()
+        || trace_out.is_some()
+        || span_out.is_some();
     femux_obs::set_enabled(on);
-    femux_obs::set_events(trace_out.is_some());
+    // The span table is carved out of the event stream, so `--span-out`
+    // turns event recording on even without a full `--trace-out`.
+    femux_obs::set_events(trace_out.is_some() || span_out.is_some());
     femux_obs::set_profiling(on && profile);
+    // Rate 0 leaves the ambient config unset: the span layer is
+    // compiled out of the run and output is byte-identical to a build
+    // without it.
+    femux_obs::span::set_ambient(if span_rate > 0.0 {
+        Some(femux_obs::span::SpanConfig {
+            rate: span_rate,
+            seed: span_seed,
+        })
+    } else {
+        None
+    });
     if on {
         // Start from a clean slate (tests or earlier sessions).
         drop(femux_obs::collect());
@@ -60,12 +106,17 @@ fn from_args<I: Iterator<Item = String>>(mut args: I) -> ObsSession {
     ObsSession {
         metrics_out,
         trace_out,
+        span_out,
     }
 }
 
 impl Drop for ObsSession {
     fn drop(&mut self) {
-        if self.metrics_out.is_none() && self.trace_out.is_none() {
+        femux_obs::span::set_ambient(None);
+        if self.metrics_out.is_none()
+            && self.trace_out.is_none()
+            && self.span_out.is_none()
+        {
             return;
         }
         let report = femux_obs::collect();
@@ -89,6 +140,19 @@ impl Drop for ObsSession {
                 }
             }
         }
+        if let Some(path) = &self.span_out {
+            let table = report.span_table_json();
+            match std::fs::write(path, &table) {
+                Ok(()) => eprintln!(
+                    "spans: {} ({} sampled)",
+                    path.display(),
+                    table.lines().count()
+                ),
+                Err(e) => {
+                    eprintln!("spans: write {} failed: {e}", path.display())
+                }
+            }
+        }
         femux_obs::set_enabled(false);
         femux_obs::set_events(false);
         femux_obs::set_profiling(false);
@@ -100,9 +164,11 @@ impl ObsSession {
     fn disarm_for_tests(mut self) {
         self.metrics_out = None;
         self.trace_out = None;
+        self.span_out = None;
         femux_obs::set_enabled(false);
         femux_obs::set_events(false);
         femux_obs::set_profiling(false);
+        femux_obs::span::set_ambient(None);
     }
 }
 
@@ -142,7 +208,37 @@ mod tests {
         let _lock = OBS_LOCK.lock().expect("obs test lock");
         let s = from_args(std::iter::empty());
         assert!(s.metrics_out.is_none() && s.trace_out.is_none());
+        assert!(femux_obs::span::ambient().is_none());
         drop(s);
         assert!(!femux_obs::enabled());
+    }
+
+    #[test]
+    fn span_flags_set_the_ambient_config_and_enable_events() {
+        let _lock = OBS_LOCK.lock().expect("obs test lock");
+        let s = from_args(
+            ["--span-sample", "0.25", "--span-seed=7", "--span-out=/tmp/s.jsonl"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(s.span_out.as_deref(), Some("/tmp/s.jsonl".as_ref()));
+        assert_eq!(
+            femux_obs::span::ambient(),
+            Some(femux_obs::span::SpanConfig { rate: 0.25, seed: 7 })
+        );
+        assert!(femux_obs::enabled());
+        assert!(femux_obs::events_enabled());
+        s.disarm_for_tests();
+    }
+
+    #[test]
+    fn span_rate_zero_leaves_the_layer_compiled_out() {
+        let _lock = OBS_LOCK.lock().expect("obs test lock");
+        let s = from_args(
+            ["--span-sample", "0"].iter().map(|s| s.to_string()),
+        );
+        assert!(femux_obs::span::ambient().is_none());
+        assert!(!femux_obs::enabled());
+        s.disarm_for_tests();
     }
 }

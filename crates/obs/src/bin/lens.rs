@@ -1,0 +1,438 @@
+//! CLI: answer "why did invocation N of app A wait X ms?" from a
+//! Chrome trace produced with `--trace-out` and `--span-sample`.
+//!
+//! The span layer records one `cat == "span"` complete event per
+//! sampled invocation, carrying exact wait segments and a causal
+//! attribution (warm-pool provenance, the warming pod it joined, or
+//! the pod it spawned). `lens` re-reads that trace — same line-oriented
+//! parsing conventions as the validator, no JSON dependency — and
+//! renders the causal story.
+//!
+//! Subcommands:
+//!
+//! - `lens explain <trace.json> --app A --inv N` — full lifecycle of
+//!   one sampled invocation (`--first` picks the first span in the
+//!   trace instead; handy for smoke tests).
+//! - `lens list <trace.json> [--app A]` — one line per sampled span.
+//! - `lens breakdown <trace.json>` — aggregate wait attribution:
+//!   totals per segment and per cause, over all sampled spans.
+//!
+//! All output is derived from the trace in file order, so it is as
+//! deterministic as the trace itself (byte-identical across
+//! `FEMUX_THREADS`).
+
+use std::collections::BTreeMap;
+
+use femux_obs::validate::{field_str, field_u64};
+
+/// One sampled invocation span, reassembled from a trace line.
+#[derive(Debug, Clone)]
+struct SpanRow {
+    track: String,
+    /// Numeric app id parsed from the track's `app-NNNNN` suffix.
+    app: Option<u32>,
+    index: u64,
+    arrival_ms: u64,
+    queue_wait_ms: u64,
+    cold_wait_ms: u64,
+    exec_ms: u64,
+    /// 0 = warm, 1 = joined a warming pod, 2 = fresh spawn.
+    cause: u64,
+    warm_mix: Option<(u64, u64, u64)>,
+    pod: Option<u64>,
+    /// 0 = min-scale, 1 = reactive, 2 = proactive.
+    pod_origin: Option<u64>,
+    pod_spawned_ms: Option<u64>,
+}
+
+impl SpanRow {
+    fn wait_ms(&self) -> u64 {
+        self.queue_wait_ms + self.cold_wait_ms
+    }
+
+    fn cause_story(&self) -> String {
+        match self.cause {
+            0 => {
+                let mix = self
+                    .warm_mix
+                    .map(|(m, r, p)| {
+                        format!(
+                            " ({} min-scale, {} reactive, {} proactive \
+                             warm pods)",
+                            m, r, p
+                        )
+                    })
+                    .unwrap_or_default();
+                format!("admitted on warm capacity{mix}")
+            }
+            1 => {
+                let origin = match self.pod_origin {
+                    Some(0) => " (a min-scale pod)".to_string(),
+                    Some(1) => self
+                        .pod_spawned_ms
+                        .map(|t| {
+                            format!(" (spawned reactively at t={t} ms)")
+                        })
+                        .unwrap_or_default(),
+                    Some(2) => self
+                        .pod_spawned_ms
+                        .map(|t| {
+                            format!(" (spawned proactively at t={t} ms)")
+                        })
+                        .unwrap_or_default(),
+                    _ => String::new(),
+                };
+                format!(
+                    "queued on warming pod {}{origin}, paying its \
+                     remaining warm-up",
+                    self.pod
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|| "?".to_string()),
+                )
+            }
+            _ => format!(
+                "cold start on freshly spawned pod {}",
+                self.pod
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "?".to_string()),
+            ),
+        }
+    }
+}
+
+/// Parses the `app-NNNNN` suffix of a sim track name.
+fn app_of_track(track: &str) -> Option<u32> {
+    let last = track.rsplit('/').next()?;
+    last.strip_prefix("app-")?.parse().ok()
+}
+
+/// Extracts the thread-lane name from a `thread_name` metadata line
+/// (the value inside `"args":{"name":...}`, not the event's own
+/// `"name"` field).
+fn thread_lane_name(line: &str) -> Option<&str> {
+    let pat = "\"args\":{\"name\":\"";
+    let start = line.find(pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Reads every sampled span from the trace, in file order.
+fn parse_spans(text: &str) -> Result<Vec<SpanRow>, String> {
+    let mut lane: BTreeMap<u64, String> = BTreeMap::new();
+    let mut rows = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim_start_matches(',');
+        if field_str(line, "ph") == Some("M")
+            && field_str(line, "name") == Some("thread_name")
+        {
+            let (Some(tid), Some(name)) =
+                (field_u64(line, "tid"), thread_lane_name(line))
+            else {
+                return Err(format!(
+                    "malformed thread_name metadata: {line}"
+                ));
+            };
+            lane.insert(tid, name.to_string());
+            continue;
+        }
+        if field_str(line, "ph") != Some("X")
+            || field_str(line, "cat") != Some("span")
+        {
+            continue;
+        }
+        let tid = field_u64(line, "tid")
+            .ok_or_else(|| format!("span event without tid: {line}"))?;
+        let track = lane
+            .get(&tid)
+            .ok_or_else(|| format!("span event on unnamed tid {tid}"))?
+            .clone();
+        let need = |key: &str| {
+            field_u64(line, key).ok_or_else(|| {
+                format!("span event missing \"{key}\": {line}")
+            })
+        };
+        let ts_us = need("ts")?;
+        let warm_mix = match (
+            field_u64(line, "warm_min_scale"),
+            field_u64(line, "warm_reactive"),
+            field_u64(line, "warm_proactive"),
+        ) {
+            (Some(m), Some(r), Some(p)) => Some((m, r, p)),
+            _ => None,
+        };
+        rows.push(SpanRow {
+            app: app_of_track(&track),
+            track,
+            index: need("index")?,
+            arrival_ms: ts_us / 1_000,
+            queue_wait_ms: need("queue_wait_ms")?,
+            cold_wait_ms: need("cold_wait_ms")?,
+            exec_ms: need("exec_ms")?,
+            cause: need("cause")?,
+            warm_mix,
+            pod: field_u64(line, "pod"),
+            pod_origin: field_u64(line, "pod_origin"),
+            pod_spawned_ms: field_u64(line, "pod_spawned_ms"),
+        });
+    }
+    Ok(rows)
+}
+
+fn explain(row: &SpanRow) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let app = row
+        .app
+        .map(|a| format!("app-{a:05}"))
+        .unwrap_or_else(|| row.track.clone());
+    let _ = writeln!(
+        out,
+        "invocation {} of {} waited {} ms",
+        row.index,
+        app,
+        row.wait_ms()
+    );
+    let _ = writeln!(out, "  track    {}", row.track);
+    let _ = writeln!(out, "  arrival  t={} ms", row.arrival_ms);
+    let _ = writeln!(
+        out,
+        "  queue    {} ms (waiting on a pod already warming)",
+        row.queue_wait_ms
+    );
+    let _ = writeln!(
+        out,
+        "  cold     {} ms (warm-up of a pod spawned for it)",
+        row.cold_wait_ms
+    );
+    let _ = writeln!(out, "  exec     {} ms", row.exec_ms);
+    let _ = writeln!(out, "  cause    {}", row.cause_story());
+    out
+}
+
+fn list(rows: &[SpanRow], app: Option<u32>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for row in rows.iter().filter(|r| app.is_none() || r.app == app) {
+        let _ = writeln!(
+            out,
+            "{} inv={} t={}ms queue={}ms cold={}ms exec={}ms cause={}",
+            row.track,
+            row.index,
+            row.arrival_ms,
+            row.queue_wait_ms,
+            row.cold_wait_ms,
+            row.exec_ms,
+            match row.cause {
+                0 => "warm",
+                1 => "joined-warming",
+                _ => "fresh-spawn",
+            },
+        );
+    }
+    out
+}
+
+fn breakdown(rows: &[SpanRow]) -> String {
+    use std::fmt::Write as _;
+    let (mut queue, mut cold, mut exec) = (0u64, 0u64, 0u64);
+    let mut by_cause = [0u64; 3];
+    for row in rows {
+        queue += row.queue_wait_ms;
+        cold += row.cold_wait_ms;
+        exec += row.exec_ms;
+        by_cause[(row.cause.min(2)) as usize] += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "sampled spans: {}", rows.len());
+    let _ = writeln!(out, "  queue wait total: {queue} ms");
+    let _ = writeln!(out, "  cold wait total:  {cold} ms");
+    let _ = writeln!(out, "  exec total:       {exec} ms");
+    let _ = writeln!(
+        out,
+        "  causes: warm={} joined-warming={} fresh-spawn={}",
+        by_cause[0], by_cause[1], by_cause[2]
+    );
+    out
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lens explain <trace.json> (--app A --inv N | --first)\n\
+         \x20      lens list <trace.json> [--app A]\n\
+         \x20      lens breakdown <trace.json>"
+    );
+    std::process::exit(2);
+}
+
+/// Parses `--key value` / `--key=value` flags plus one positional path.
+fn parse_cli(
+    args: &[String],
+) -> (Option<String>, BTreeMap<String, String>) {
+    let mut path = None;
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(flag) = a.strip_prefix("--") {
+            if let Some((k, v)) = flag.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+            } else if flag == "first" {
+                flags.insert("first".to_string(), "1".to_string());
+            } else if i + 1 < args.len() {
+                i += 1;
+                flags.insert(flag.to_string(), args[i].clone());
+            } else {
+                usage();
+            }
+        } else if path.is_none() {
+            path = Some(a.clone());
+        } else {
+            usage();
+        }
+        i += 1;
+    }
+    (path, flags)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let (path, flags) = parse_cli(&args[1..]);
+    let Some(path) = path else { usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lens: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rows = match parse_spans(&text) {
+        Ok(rows) => rows,
+        Err(msg) => {
+            eprintln!("lens: {path}: {msg}");
+            std::process::exit(1);
+        }
+    };
+    match cmd.as_str() {
+        "explain" => {
+            let row = if flags.contains_key("first") {
+                rows.first()
+            } else {
+                let (Some(app), Some(inv)) = (
+                    flags.get("app").and_then(|v| v.parse::<u32>().ok()),
+                    flags.get("inv").and_then(|v| v.parse::<u64>().ok()),
+                ) else {
+                    usage()
+                };
+                rows.iter()
+                    .find(|r| r.app == Some(app) && r.index == inv)
+            };
+            match row {
+                Some(row) => print!("{}", explain(row)),
+                None => {
+                    eprintln!(
+                        "lens: no sampled span matches (is the \
+                         invocation in the sample? try `lens list`)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        "list" => {
+            let app = flags.get("app").and_then(|v| v.parse().ok());
+            print!("{}", list(&rows, app));
+        }
+        "breakdown" => print!("{}", breakdown(&rows)),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> String {
+        [
+            "{\"traceEvents\":[",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"femux\"}}",
+            ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"sim/fleet-00/app-00042\"}}",
+            ",\n{\"ph\":\"s\",\"pid\":1,\"tid\":1,\"ts\":5000000,\"id\":7,\"cat\":\"span\",\"name\":\"pod-spawn\"}",
+            ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":5000000,\"dur\":3308000,\"cat\":\"span\",\"name\":\"inv-3\",\"args\":{\"index\":3,\"queue_wait_ms\":0,\"cold_wait_ms\":808,\"exec_ms\":2500,\"cause\":2,\"pod\":7}}",
+            ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":9000000,\"dur\":400000,\"cat\":\"span\",\"name\":\"inv-5\",\"args\":{\"index\":5,\"queue_wait_ms\":0,\"cold_wait_ms\":0,\"exec_ms\":400,\"cause\":0,\"warm_min_scale\":1,\"warm_reactive\":2,\"warm_proactive\":0}}",
+            ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":9100000,\"dur\":900000,\"cat\":\"span\",\"name\":\"inv-6\",\"args\":{\"index\":6,\"queue_wait_ms\":500,\"cold_wait_ms\":0,\"exec_ms\":400,\"cause\":1,\"pod\":9,\"pod_origin\":1,\"pod_spawned_ms\":8800}}",
+            "\n]}",
+        ]
+        .join("")
+    }
+
+    #[test]
+    fn parses_spans_with_track_and_app() {
+        let rows = parse_spans(&sample_trace()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].app, Some(42));
+        assert_eq!(rows[0].track, "sim/fleet-00/app-00042");
+        assert_eq!(rows[0].index, 3);
+        assert_eq!(rows[0].arrival_ms, 5_000);
+        assert_eq!(rows[0].cold_wait_ms, 808);
+        assert_eq!(rows[0].cause, 2);
+        assert_eq!(rows[1].warm_mix, Some((1, 2, 0)));
+        assert_eq!(rows[2].pod_spawned_ms, Some(8_800));
+    }
+
+    #[test]
+    fn explain_tells_the_fresh_spawn_story() {
+        let rows = parse_spans(&sample_trace()).unwrap();
+        let text = explain(&rows[0]);
+        assert!(text.contains("invocation 3 of app-00042 waited 808 ms"));
+        assert!(text.contains("cold     808 ms"));
+        assert!(text.contains("freshly spawned pod 7"));
+    }
+
+    #[test]
+    fn explain_tells_the_warm_and_join_stories() {
+        let rows = parse_spans(&sample_trace()).unwrap();
+        let warm = explain(&rows[1]);
+        assert!(warm.contains("waited 0 ms"));
+        assert!(warm.contains(
+            "1 min-scale, 2 reactive, 0 proactive warm pods"
+        ));
+        let joined = explain(&rows[2]);
+        assert!(joined.contains("queued on warming pod 9"));
+        assert!(joined.contains("spawned reactively at t=8800 ms"));
+    }
+
+    #[test]
+    fn list_filters_by_app_and_breakdown_totals() {
+        let rows = parse_spans(&sample_trace()).unwrap();
+        assert_eq!(list(&rows, Some(42)).lines().count(), 3);
+        assert_eq!(list(&rows, Some(43)).lines().count(), 0);
+        let b = breakdown(&rows);
+        assert!(b.contains("sampled spans: 3"));
+        assert!(b.contains("queue wait total: 500 ms"));
+        assert!(b.contains("cold wait total:  808 ms"));
+        assert!(b.contains("warm=1 joined-warming=1 fresh-spawn=1"));
+    }
+
+    #[test]
+    fn cli_flags_accept_both_forms() {
+        let args: Vec<String> =
+            ["t.json", "--app", "42", "--inv=3", "--first"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let (path, flags) = parse_cli(&args);
+        assert_eq!(path.as_deref(), Some("t.json"));
+        assert_eq!(flags.get("app").map(String::as_str), Some("42"));
+        assert_eq!(flags.get("inv").map(String::as_str), Some("3"));
+        assert!(flags.contains_key("first"));
+    }
+
+    #[test]
+    fn unnamed_tid_is_an_error() {
+        let bad = "{\"ph\":\"X\",\"pid\":1,\"tid\":4,\"ts\":1,\"dur\":1,\
+                   \"cat\":\"span\",\"name\":\"inv-0\",\
+                   \"args\":{\"index\":0}}";
+        let err = parse_spans(bad).unwrap_err();
+        assert!(err.contains("unnamed tid 4"));
+    }
+}

@@ -21,8 +21,8 @@ fn main() {
     match validate_chrome_trace(&text) {
         Ok(summary) => {
             println!(
-                "{path}: OK ({} events across {} tracks)",
-                summary.events, summary.tracks
+                "{path}: OK ({} events, {} flow events across {} tracks)",
+                summary.events, summary.flows, summary.tracks
             );
         }
         Err(msg) => {

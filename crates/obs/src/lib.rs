@@ -49,10 +49,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 pub mod hist;
 mod report;
 mod sink;
+pub mod span;
 pub mod validate;
 pub mod walltime;
 
 pub use report::Report;
+pub use sink::FlowPhase;
+
+/// Serializes tests (across this crate's modules) that toggle the
+/// process-global switches.
+#[cfg(test)]
+pub(crate) static OBS_TEST_LOCK: std::sync::Mutex<()> =
+    std::sync::Mutex::new(());
 
 /// Master switch: when false, every recording call is a no-op.
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -149,6 +157,26 @@ pub fn instant(
     sink::with_local(|s| s.push_event(track, cat, name, ts_us, None, args));
 }
 
+/// Records a flow event on `track` at virtual time `ts_us`. Flow events
+/// (`s`/`t`/`f` phases) draw arrows in the Chrome trace viewer between
+/// causally linked points on different tracks; all phases sharing `id`
+/// form one flow. Emit the `Start` before any `Step`/`End` and never
+/// reuse an id for a second `Start` — `obs_validate` rejects both.
+#[inline]
+pub fn flow(
+    track: &str,
+    cat: &'static str,
+    name: &str,
+    ts_us: u64,
+    phase: FlowPhase,
+    id: u64,
+) {
+    if !events_enabled() {
+        return;
+    }
+    sink::with_local(|s| s.push_flow(track, cat, name, ts_us, phase, id));
+}
+
 /// Folds this thread's telemetry into the process-global sink now.
 ///
 /// Every thread that records telemetry and whose completion is awaited
@@ -213,10 +241,8 @@ impl Drop for ObsGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
 
-    /// Serializes tests that toggle the process-global switches.
-    static OBS_LOCK: Mutex<()> = Mutex::new(());
+    use crate::OBS_TEST_LOCK as OBS_LOCK;
 
     #[test]
     fn disabled_recording_is_a_no_op() {

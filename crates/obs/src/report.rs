@@ -46,10 +46,12 @@ impl Report {
         }
     }
 
-    /// Flat sorted-key JSON metrics document.
+    /// Flat sorted-key JSON metrics document (schema v2: the `schema`
+    /// marker arrived together with the span layer).
     pub fn metrics_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"counters\": {");
+        out.push_str("{\n  \"schema\": \"femux-obs-metrics/v2\",");
+        out.push_str("\n  \"counters\": {");
         for (i, (k, v)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -120,13 +122,19 @@ impl Report {
         for e in &self.events {
             let tid = tid_of[e.track.as_str()];
             out.push_str(",\n{");
-            match e.dur_us {
-                Some(dur) => out.push_str(&format!(
+            match (e.flow, e.dur_us) {
+                (Some((phase, id)), _) => out.push_str(&format!(
+                    "\"ph\":\"{}\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{},\"id\":{id},",
+                    phase.ph(),
+                    e.ts_us
+                )),
+                (None, Some(dur)) => out.push_str(&format!(
                     "\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
                      \"ts\":{},\"dur\":{dur},",
                     e.ts_us
                 )),
-                None => out.push_str(&format!(
+                (None, None) => out.push_str(&format!(
                     "\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\
                      \"ts\":{},\"s\":\"t\",",
                     e.ts_us
@@ -147,6 +155,37 @@ impl Report {
             out.push('}');
         }
         out.push_str("\n]}\n");
+        out
+    }
+
+    /// JSON-lines table of the recorded lifecycle spans (events with
+    /// category `span`), in `(track, seq)` order — the `--span-out`
+    /// artifact. One self-contained object per line so downstream
+    /// tooling can stream it.
+    pub fn span_table_json(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.iter().filter(|e| e.cat == "span") {
+            out.push_str("{\"track\":");
+            push_str_json(&mut out, &e.track);
+            out.push_str(",\"name\":");
+            push_str_json(&mut out, &e.name);
+            out.push_str(&format!(
+                ",\"ts_us\":{},\"dur_us\":{}",
+                e.ts_us,
+                e.dur_us.unwrap_or(0)
+            ));
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{k}\":{v}"));
+                }
+                out.push('}');
+            }
+            out.push_str("}\n");
+        }
         out
     }
 }
@@ -216,5 +255,35 @@ mod tests {
         let mut out = String::new();
         push_str_json(&mut out, "a\"b\\c\nd");
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn metrics_json_carries_the_v2_schema_marker() {
+        let j = sample_report().metrics_json();
+        assert!(j.contains("\"schema\": \"femux-obs-metrics/v2\""));
+    }
+
+    #[test]
+    fn flow_events_render_phase_and_id() {
+        use crate::sink::FlowPhase;
+        let mut s = Sink::default();
+        s.push_flow("t", "span", "pod-spawn", 100, FlowPhase::Start, 42);
+        s.push_flow("t", "span", "join", 250, FlowPhase::Step, 42);
+        let t = Report::from_sink(s).chrome_trace_json();
+        assert!(t.contains("\"ph\":\"s\",\"pid\":1,\"tid\":1,\"ts\":100,\"id\":42,"));
+        assert!(t.contains("\"ph\":\"t\",\"pid\":1,\"tid\":1,\"ts\":250,\"id\":42,"));
+    }
+
+    #[test]
+    fn span_table_lists_only_span_category_events() {
+        let mut s = Sink::default();
+        s.push_event("t", "sim", "cold-start", 5, Some(3), &[]);
+        s.push_event("t", "span", "inv-0", 10, Some(7), &[("exec_ms", 2)]);
+        let table = Report::from_sink(s).span_table_json();
+        assert_eq!(
+            table,
+            "{\"track\":\"t\",\"name\":\"inv-0\",\"ts_us\":10,\
+             \"dur_us\":7,\"args\":{\"exec_ms\":2}}\n"
+        );
     }
 }

@@ -18,8 +18,31 @@ use std::sync::{Mutex, PoisonError};
 
 use crate::hist::Hist;
 
-/// One recorded trace event (a Chrome trace-event `X` complete span or
-/// `i` instant).
+/// Phase of a Chrome trace-event flow: `s` (start), `t` (step), `f`
+/// (end). All flow events sharing an id form one causal arrow chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// `"ph": "s"` — the flow's origin point.
+    Start,
+    /// `"ph": "t"` — an intermediate binding point.
+    Step,
+    /// `"ph": "f"` — the flow's terminal point.
+    End,
+}
+
+impl FlowPhase {
+    /// The trace-event `ph` letter.
+    pub fn ph(self) -> char {
+        match self {
+            FlowPhase::Start => 's',
+            FlowPhase::Step => 't',
+            FlowPhase::End => 'f',
+        }
+    }
+}
+
+/// One recorded trace event (a Chrome trace-event `X` complete span,
+/// `i` instant, or `s`/`t`/`f` flow phase).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// Track the event belongs to (becomes a Chrome "thread" lane).
@@ -32,6 +55,9 @@ pub struct Event {
     pub ts_us: u64,
     /// Duration in microseconds; `None` marks an instant event.
     pub dur_us: Option<u64>,
+    /// Flow phase + flow id; `Some` marks a flow event (`dur_us` is
+    /// then ignored by the exporter).
+    pub flow: Option<(FlowPhase, u64)>,
     /// Per-track emission ordinal (export sort key).
     pub seq: u64,
     /// Integer-valued event arguments.
@@ -82,23 +108,52 @@ impl Sink {
         dur_us: Option<u64>,
         args: &[(&'static str, u64)],
     ) {
-        let seq = if let Some(s) = self.track_seq.get_mut(track) {
-            let v = *s;
-            *s += 1;
-            v
-        } else {
-            self.track_seq.insert(track.to_string(), 1);
-            0
-        };
+        let seq = self.next_seq(track);
         self.events.push(Event {
             track: track.to_string(),
             cat,
             name: name.to_string(),
             ts_us,
             dur_us,
+            flow: None,
             seq,
             args: args.to_vec(),
         });
+    }
+
+    /// Records a flow event (phase `s`/`t`/`f` with a flow id),
+    /// assigning its per-track sequence number.
+    pub fn push_flow(
+        &mut self,
+        track: &str,
+        cat: &'static str,
+        name: &str,
+        ts_us: u64,
+        phase: FlowPhase,
+        id: u64,
+    ) {
+        let seq = self.next_seq(track);
+        self.events.push(Event {
+            track: track.to_string(),
+            cat,
+            name: name.to_string(),
+            ts_us,
+            dur_us: None,
+            flow: Some((phase, id)),
+            seq,
+            args: Vec::new(),
+        });
+    }
+
+    fn next_seq(&mut self, track: &str) -> u64 {
+        if let Some(s) = self.track_seq.get_mut(track) {
+            let v = *s;
+            *s += 1;
+            v
+        } else {
+            self.track_seq.insert(track.to_string(), 1);
+            0
+        }
     }
 
     /// Folds `other` into `self`. Counter/histogram merges are

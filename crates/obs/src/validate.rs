@@ -13,6 +13,8 @@ pub struct TraceSummary {
     pub events: usize,
     /// Number of distinct lanes (`tid`s) carrying payload events.
     pub tracks: usize,
+    /// Number of `s`/`t`/`f` flow events.
+    pub flows: usize,
 }
 
 /// Validates trace-event JSON produced by
@@ -30,7 +32,12 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
         }
     }
     let mut events = 0usize;
+    let mut flows = 0usize;
     let mut last_ts: std::collections::BTreeMap<u64, u64> =
+        std::collections::BTreeMap::new();
+    // Flow-id lifecycle per (cat, id): `false` = started, `true` =
+    // terminated by an `f` phase.
+    let mut flow_state: std::collections::BTreeMap<(String, u64), bool> =
         std::collections::BTreeMap::new();
     let mut closed = false;
     for (i, raw) in lines {
@@ -67,16 +74,57 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
                 if field_str(line, "name").is_none() {
                     return Err(format!("line {n}: missing \"name\""));
                 }
-                if let Some(&prev) = last_ts.get(&tid) {
-                    if ts < prev {
+                check_monotone(&mut last_ts, tid, ts, n)?;
+                events += 1;
+            }
+            "s" | "t" | "f" => {
+                let ts = field_u64(line, "ts")
+                    .ok_or_else(|| format!("line {n}: missing \"ts\""))?;
+                let id = field_u64(line, "id").ok_or_else(|| {
+                    format!("line {n}: flow event without \"id\"")
+                })?;
+                if field_str(line, "name").is_none() {
+                    return Err(format!("line {n}: missing \"name\""));
+                }
+                check_monotone(&mut last_ts, tid, ts, n)?;
+                let key = (
+                    field_str(line, "cat").unwrap_or("").to_string(),
+                    id,
+                );
+                match (ph, flow_state.get(&key)) {
+                    ("s", None) => {
+                        flow_state.insert(key, false);
+                    }
+                    ("s", Some(_)) => {
                         return Err(format!(
-                            "line {n}: ts {ts} < {prev} on tid {tid} \
-                             (timestamps must be monotone per track)"
+                            "line {n}: duplicate flow start for id {id} \
+                             (flow ids must be unique per cat)"
+                        ));
+                    }
+                    ("t" | "f", None) => {
+                        return Err(format!(
+                            "line {n}: flow {ph:?} for id {id} without a \
+                             preceding start"
+                        ));
+                    }
+                    (_, Some(true)) => {
+                        return Err(format!(
+                            "line {n}: flow {ph:?} for id {id} after the \
+                             flow already ended"
+                        ));
+                    }
+                    ("f", Some(false)) => {
+                        flow_state.insert(key, true);
+                    }
+                    ("t", Some(false)) => {}
+                    (other, state) => {
+                        return Err(format!(
+                            "line {n}: flow phase {other:?} in state \
+                             {state:?} for id {id}"
                         ));
                     }
                 }
-                last_ts.insert(tid, ts);
-                events += 1;
+                flows += 1;
             }
             other => {
                 return Err(format!("line {n}: unknown ph {other:?}"))
@@ -89,7 +137,27 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     Ok(TraceSummary {
         events,
         tracks: last_ts.len(),
+        flows,
     })
+}
+
+/// Enforces per-lane timestamp monotonicity (equal timestamps allowed).
+fn check_monotone(
+    last_ts: &mut std::collections::BTreeMap<u64, u64>,
+    tid: u64,
+    ts: u64,
+    n: usize,
+) -> Result<(), String> {
+    if let Some(&prev) = last_ts.get(&tid) {
+        if ts < prev {
+            return Err(format!(
+                "line {n}: ts {ts} < {prev} on tid {tid} \
+                 (timestamps must be monotone per track)"
+            ));
+        }
+    }
+    last_ts.insert(tid, ts);
+    Ok(())
 }
 
 /// Checks brace balance outside string literals.
@@ -117,8 +185,9 @@ fn balanced(line: &str) -> bool {
 }
 
 /// Extracts a top-level-ish string field value (no unescaping — exporter
-/// field values that matter here are plain).
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+/// field values that matter here are plain). Public so trace consumers
+/// (the `lens` bin) can share the parsing conventions.
+pub fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -127,7 +196,7 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// Extracts an unsigned integer field value.
-fn field_u64(line: &str, key: &str) -> Option<u64> {
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let digits: String = line[start..]
@@ -153,10 +222,72 @@ mod tests {
         .join("\n")
     }
 
+    fn flow_trace() -> String {
+        [
+            "{\"traceEvents\":[",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"femux\"}},",
+            "{\"ph\":\"s\",\"pid\":1,\"tid\":1,\"ts\":100,\"id\":7,\"cat\":\"span\",\"name\":\"pod-spawn\"},",
+            "{\"ph\":\"t\",\"pid\":1,\"tid\":2,\"ts\":150,\"id\":7,\"cat\":\"span\",\"name\":\"join\"},",
+            "{\"ph\":\"f\",\"pid\":1,\"tid\":2,\"ts\":900,\"id\":7,\"cat\":\"span\",\"name\":\"warm\"}",
+            "]}",
+        ]
+        .join("\n")
+    }
+
     #[test]
     fn accepts_well_formed_trace() {
         let s = validate_chrome_trace(&valid_trace()).expect("valid");
-        assert_eq!(s, TraceSummary { events: 2, tracks: 1 });
+        assert_eq!(s, TraceSummary { events: 2, tracks: 1, flows: 0 });
+    }
+
+    #[test]
+    fn accepts_well_formed_flows() {
+        let s = validate_chrome_trace(&flow_trace()).expect("valid");
+        assert_eq!(s, TraceSummary { events: 0, tracks: 2, flows: 3 });
+    }
+
+    #[test]
+    fn rejects_duplicate_flow_start_ids() {
+        let bad = flow_trace().replace(
+            "{\"ph\":\"t\",\"pid\":1,\"tid\":2,\"ts\":150,\"id\":7,\"cat\":\"span\",\"name\":\"join\"},",
+            "{\"ph\":\"s\",\"pid\":1,\"tid\":2,\"ts\":150,\"id\":7,\"cat\":\"span\",\"name\":\"join\"},",
+        );
+        let err = validate_chrome_trace(&bad).expect_err("must fail");
+        assert!(err.contains("duplicate flow start"), "{err}");
+    }
+
+    #[test]
+    fn rejects_flow_step_without_start() {
+        let bad = flow_trace().replace("\"id\":7,\"cat\":\"span\",\"name\":\"pod-spawn\"", "\"id\":8,\"cat\":\"span\",\"name\":\"pod-spawn\"");
+        let err = validate_chrome_trace(&bad).expect_err("must fail");
+        assert!(err.contains("without a"), "{err}");
+    }
+
+    #[test]
+    fn rejects_flow_continuing_after_end() {
+        let bad = flow_trace().replace(
+            "{\"ph\":\"t\",\"pid\":1,\"tid\":2,\"ts\":150,\"id\":7,\"cat\":\"span\",\"name\":\"join\"},",
+            "{\"ph\":\"f\",\"pid\":1,\"tid\":2,\"ts\":150,\"id\":7,\"cat\":\"span\",\"name\":\"join\"},",
+        );
+        let err = validate_chrome_trace(&bad).expect_err("must fail");
+        assert!(err.contains("already ended"), "{err}");
+    }
+
+    #[test]
+    fn rejects_flow_without_id() {
+        let bad = flow_trace().replace("\"id\":7,\"cat\":\"span\",\"name\":\"pod-spawn\"", "\"cat\":\"span\",\"name\":\"pod-spawn\"");
+        let err = validate_chrome_trace(&bad).expect_err("must fail");
+        assert!(err.contains("without \"id\""), "{err}");
+    }
+
+    #[test]
+    fn flow_events_join_the_monotone_timestamp_check() {
+        let bad = flow_trace().replace(
+            "{\"ph\":\"f\",\"pid\":1,\"tid\":2,\"ts\":900,",
+            "{\"ph\":\"f\",\"pid\":1,\"tid\":2,\"ts\":120,",
+        );
+        let err = validate_chrome_trace(&bad).expect_err("must fail");
+        assert!(err.contains("monotone"), "{err}");
     }
 
     #[test]
@@ -198,6 +329,18 @@ mod tests {
         s.push_event("b", "c", "e3", 2, Some(1), &[]);
         let text = crate::Report::from_sink(s).chrome_trace_json();
         let sum = validate_chrome_trace(&text).expect("exporter output valid");
-        assert_eq!(sum, TraceSummary { events: 3, tracks: 2 });
+        assert_eq!(sum, TraceSummary { events: 3, tracks: 2, flows: 0 });
+    }
+
+    #[test]
+    fn exporter_flow_output_round_trips() {
+        use crate::sink::FlowPhase;
+        let mut s = crate::sink::Sink::default();
+        s.push_flow("pods", "span", "pod-spawn", 10, FlowPhase::Start, 99);
+        s.push_event("reqs", "span", "inv-3", 12, Some(5), &[]);
+        s.push_flow("reqs", "span", "join", 12, FlowPhase::Step, 99);
+        let text = crate::Report::from_sink(s).chrome_trace_json();
+        let sum = validate_chrome_trace(&text).expect("exporter output valid");
+        assert_eq!(sum, TraceSummary { events: 1, tracks: 2, flows: 2 });
     }
 }

@@ -1,0 +1,38 @@
+//! The validator must reject hand-corrupted traces: a duplicate flow
+//! start id (two pods claiming the same causal arrow) and a timestamp
+//! that runs backwards within a lane. Both fixtures are otherwise
+//! well-formed, so anything weaker than the targeted check would pass
+//! them.
+
+use femux_obs::validate::validate_chrome_trace;
+
+#[test]
+fn duplicate_flow_id_fixture_is_rejected() {
+    let text = include_str!("fixtures/corrupted_duplicate_flow.json");
+    let err = validate_chrome_trace(text).expect_err("must be rejected");
+    assert!(
+        err.contains("duplicate flow start") && err.contains("314159"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn backwards_timestamp_fixture_is_rejected() {
+    let text = include_str!("fixtures/corrupted_backwards_ts.json");
+    let err = validate_chrome_trace(text).expect_err("must be rejected");
+    assert!(err.contains("monotone"), "unexpected error: {err}");
+}
+
+#[test]
+fn uncorrupting_the_fixtures_makes_them_pass() {
+    // The same fixtures with the corruption undone validate cleanly —
+    // the rejections above are the targeted checks, not collateral.
+    let dup = include_str!("fixtures/corrupted_duplicate_flow.json")
+        .replace("\"ts\":2500,\"id\":314159", "\"ts\":2500,\"id\":314160");
+    let s = validate_chrome_trace(&dup).expect("de-duplicated trace valid");
+    assert_eq!((s.events, s.flows), (1, 3));
+    let ts = include_str!("fixtures/corrupted_backwards_ts.json")
+        .replace("\"ts\":59000", "\"ts\":61000");
+    let s = validate_chrome_trace(&ts).expect("monotone trace valid");
+    assert_eq!(s.events, 2);
+}

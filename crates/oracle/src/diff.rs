@@ -188,6 +188,22 @@ pub fn compare_results(
         })
     })
     .or_else(|| {
+        // Sampled lifecycle spans: identity, exact wait segments, and
+        // causal attribution must all agree (the span layer's
+        // exact-accounting contract, re-derived independently by the
+        // oracle's per-millisecond replay).
+        series("spans", &engine.spans, &oracle.spans, 0).map(|mut d| {
+            d.at_ms = d.index.and_then(|i| {
+                engine
+                    .spans
+                    .get(i)
+                    .or_else(|| oracle.spans.get(i))
+                    .map(|s| s.arrival_ms)
+            });
+            d
+        })
+    })
+    .or_else(|| {
         // Derived observable: the reconstructed scale-event timeline.
         let ee = engine.scale_events(interval_ms);
         let oe = oracle.scale_events(interval_ms);

@@ -35,6 +35,9 @@
 //! 2^53) and every inexact term (`/ 1000.0` seconds conversions) is
 //! added in the same per-arrival order as the production engine.
 
+use femux_obs::span::{
+    InvocationSpan, PodOrigin, SpanSampler, WaitCause,
+};
 use femux_rum::CostRecord;
 use femux_sim::{PolicyCtx, ScalingPolicy, SimConfig, SimResult};
 use femux_trace::types::AppRecord;
@@ -42,6 +45,13 @@ use femux_trace::types::AppRecord;
 /// Reference pod state; mirrors the engine's pod fields one-to-one.
 #[derive(Debug, Clone, Copy)]
 struct RefPod {
+    /// Stable identity, assigned in spawn order exactly as the engine
+    /// assigns its uids (min-scale pods first, then every reactive or
+    /// proactive spawn in chronological order), so sampled spans can
+    /// name the same pod on both sides.
+    uid: u64,
+    /// How this pod came to exist; feeds sampled spans' wait causes.
+    origin: PodOrigin,
     warm_at: u64,
     keep_until: u64,
     /// Requests pinned to this pod while it warms.
@@ -83,13 +93,16 @@ pub fn reference_simulate(
     let interval = cfg.interval_ms;
 
     let mut pods: Vec<RefPod> = (0..min_scale)
-        .map(|_| RefPod {
+        .map(|uid| RefPod {
+            uid: uid as u64,
+            origin: PodOrigin::MinScale,
             warm_at: 0,
             keep_until: 0,
             queued: 0,
             joinable: false,
         })
         .collect();
+    let mut next_uid = min_scale as u64;
     // In-flight completion times (queued + executing), unsorted.
     let mut inflight: Vec<u64> = Vec::new();
 
@@ -105,6 +118,13 @@ pub fn reference_simulate(
     let mut pod_counts: Vec<usize> = Vec::new();
     let mut costs = CostRecord::default();
     let mut delays: Vec<f64> = Vec::new();
+
+    // Independent re-derivation of the span layer: same seeded sampler,
+    // same `(app, replay-index)` key, but causes reconstructed from the
+    // reference pod vector rather than the engine's event-queue state.
+    let app_id = app.id.0 as u64;
+    let sampler = cfg.spans.as_ref().and_then(SpanSampler::new);
+    let mut spans: Vec<InvocationSpan> = Vec::new();
 
     // AWS-style proactive rate limiting (mirrors the engine's counter,
     // including its minute-0 initialization).
@@ -178,6 +198,7 @@ pub fn reference_simulate(
                 cfg,
                 &mut spawn_minute,
                 &mut spawns_this_minute,
+                &mut next_uid,
             );
             pod_counts.push(pods.len());
             next_tick += interval;
@@ -204,6 +225,7 @@ pub fn reference_simulate(
         while idx < replay.len() && replay[idx].start_ms == t {
             pop_completions!(t);
             let inv = replay[idx];
+            let index = idx as u64;
             idx += 1;
             arrivals_in_interval += 1.0;
             let interval_end = next_tick.min(span_ms);
@@ -217,7 +239,14 @@ pub fn reference_simulate(
                 .map(|p| p.queued)
                 .sum();
             let executing = inflight.len() as u64 - waiting;
+            let sampled = sampler
+                .as_ref()
+                .is_some_and(|s| s.sample(app_id, index));
+            let mut cause: Option<WaitCause> = None;
             let delay_ms = if executing < warm {
+                if sampled {
+                    cause = Some(warm_origin_mix(&pods, t));
+                }
                 0u64
             } else if let Some(slot) = joinable_pod(&pods, t, concurrency)
             {
@@ -228,18 +257,32 @@ pub fn reference_simulate(
                 pod.queued += 1;
                 pod.keep_until =
                     pod.keep_until.max(interval_end).max(end);
+                if sampled {
+                    cause = Some(WaitCause::JoinedWarmingPod {
+                        pod_uid: pod.uid,
+                        origin: pod.origin,
+                    });
+                }
                 costs.cold_starts += 1;
                 costs.cold_start_seconds += wait as f64 / 1_000.0;
                 wait
             } else {
                 // Spawn a fresh pod for the full cold start.
                 let end = t + cold_ms + dur;
+                let uid = next_uid;
+                next_uid += 1;
                 pods.push(RefPod {
+                    uid,
+                    origin: PodOrigin::Reactive { at_ms: t },
                     warm_at: t + cold_ms,
                     keep_until: interval_end.max(end),
                     queued: 1,
                     joinable: true,
                 });
+                if sampled {
+                    cause =
+                        Some(WaitCause::FreshSpawn { pod_uid: uid });
+                }
                 costs.cold_starts += 1;
                 costs.cold_start_seconds += cold_ms as f64 / 1_000.0;
                 cold_ms
@@ -253,6 +296,25 @@ pub fn reference_simulate(
             costs.service_seconds += (delay_ms + dur) as f64 / 1_000.0;
             if cfg.record_delays {
                 delays.push(delay_ms as f64 / 1_000.0);
+            }
+            if let Some(cause) = cause {
+                // Exactly one wait segment is nonzero — queue wait for
+                // joins, cold wait for fresh spawns — matching the
+                // engine's exact-accounting identity by construction.
+                let (queue_wait_ms, cold_wait_ms) = match cause {
+                    WaitCause::Warm { .. } => (0, 0),
+                    WaitCause::JoinedWarmingPod { .. } => (delay_ms, 0),
+                    WaitCause::FreshSpawn { .. } => (0, delay_ms),
+                };
+                spans.push(InvocationSpan {
+                    app: app_id,
+                    index,
+                    arrival_ms: t,
+                    queue_wait_ms,
+                    cold_wait_ms,
+                    exec_ms: dur,
+                    cause,
+                });
             }
         }
 
@@ -283,7 +345,23 @@ pub fn reference_simulate(
         pod_counts,
         initial_pods: min_scale,
         faults: femux_fault::FaultStats::default(),
+        spans,
     }
+}
+
+/// Provenance breakdown of the currently warm pods, as a
+/// [`WaitCause::Warm`]; mirrors the engine's sampled-warm-admission
+/// scan.
+fn warm_origin_mix(pods: &[RefPod], t: u64) -> WaitCause {
+    let (mut min_scale, mut reactive, mut proactive) = (0, 0, 0);
+    for p in pods.iter().filter(|p| p.warm_at <= t) {
+        match p.origin {
+            PodOrigin::MinScale => min_scale += 1,
+            PodOrigin::Reactive { .. } => reactive += 1,
+            PodOrigin::Proactive { .. } => proactive += 1,
+        }
+    }
+    WaitCause::Warm { min_scale, reactive, proactive }
 }
 
 /// The soonest-warm joinable warming pod with spare per-pod
@@ -321,6 +399,7 @@ fn apply_target(
     cfg: &SimConfig,
     spawn_minute: &mut u64,
     spawns_this_minute: &mut usize,
+    next_uid: &mut u64,
 ) {
     let current = pods.len();
     if target > current {
@@ -348,7 +427,11 @@ fn apply_target(
             if !allowed {
                 break;
             }
+            let uid = *next_uid;
+            *next_uid += 1;
             pods.push(RefPod {
+                uid,
+                origin: PodOrigin::Proactive { at_ms: t },
                 warm_at: t + cold_ms,
                 keep_until: t,
                 queued: 0,

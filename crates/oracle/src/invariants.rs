@@ -18,7 +18,8 @@
 //!   windows are legitimately shift-sensitive.)
 //! - **Id-shift invariance** ([`check_id_shift`]): the application id
 //!   is an identity, not an input — relabeling changes nothing in a
-//!   fault-free run.
+//!   fault-free run. (Spans are excluded: the span sampler is keyed by
+//!   app id by design, so the check runs with the layer off.)
 //! - **Min-scale floor** ([`check_min_scale_floor`]): the pod timeline
 //!   never dips below `min_scale`, starting from the floor itself (no
 //!   phantom 0 → min_scale event).
@@ -176,6 +177,12 @@ pub fn check_id_shift(
     cfg: &SimConfig,
     make_policy: &dyn Fn() -> Box<dyn ScalingPolicy>,
 ) -> Result<(), String> {
+    // The span sampler is deliberately keyed by `(app id, index)` and
+    // each span records its app id, so the span layer is legitimately
+    // id-sensitive; run the check with spans off.
+    let mut cfg = cfg.clone();
+    cfg.spans = None;
+    let cfg = &cfg;
     let mut relabeled = app.clone();
     relabeled.id = femux_trace::types::AppId(app.id.0 ^ 0x5EED);
     let base = simulate_app(app, make_policy().as_mut(), span_ms, cfg);

@@ -22,7 +22,7 @@ use crate::invariants;
 use femux_sim::{
     simulate_app, simulate_app_tickwise, FixedPolicy, ForecastPolicy,
     KeepAlivePolicy, KnativeDefaultPolicy, ScalingPolicy, SimConfig,
-    ZeroPolicy,
+    SimResult, ZeroPolicy,
 };
 use femux_stats::rng::Rng;
 use femux_trace::types::{
@@ -241,8 +241,25 @@ fn sim_config(interval_ms: u64) -> SimConfig {
     SimConfig {
         interval_ms,
         record_delays: true,
+        // Sample every invocation's lifecycle span: the per-ms oracle
+        // re-derives each span (segments, pod identity, wait cause)
+        // independently and `compare_results` checks them exactly. The
+        // frozen tickwise twin predates the layer, so its comparisons
+        // strip spans — which also re-asserts that enabling the layer
+        // perturbs no other observable.
+        spans: Some(femux_obs::span::SpanConfig::all(
+            0x5EED ^ interval_ms,
+        )),
         ..SimConfig::default()
     }
+}
+
+/// The engine result with its span table stripped, for comparison
+/// against the span-less tickwise reference.
+fn sans_spans(res: &SimResult) -> SimResult {
+    let mut res = res.clone();
+    res.spans = Vec::new();
+    res
 }
 
 /// Runs one case through all three engines; `None` means exact
@@ -266,7 +283,7 @@ fn diverges(
             span_ms,
             &cfg,
         );
-        compare_results(&engine, &tickwise, interval_ms)
+        compare_results(&sans_spans(&engine), &tickwise, interval_ms)
     })
 }
 
@@ -546,7 +563,12 @@ fn run_case(case: &Case, cfg: &SweepConfig) -> CaseOutcome {
                 span_ms,
                 &sim_cfg,
             );
-            compare_results(&engine, &tickwise, case.interval_ms).map(
+            compare_results(
+                &sans_spans(&engine),
+                &tickwise,
+                case.interval_ms,
+            )
+            .map(
                 |d| {
                     (
                         format!("{} [tickwise]", case.label),

@@ -62,6 +62,10 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use femux_fault::{ActuationFate, AppFaults, FaultStats};
+use femux_obs::span::{
+    InvocationSpan, PodOrigin, SpanGuard, SpanSampler, WaitCause,
+};
+use femux_obs::FlowPhase;
 use femux_rum::CostRecord;
 use femux_trace::types::{AppRecord, Invocation};
 
@@ -110,6 +114,12 @@ pub struct SimConfig {
     /// Deterministic fault plan. `None` runs fault-free; a plan with
     /// all rates zero is byte-identical to `None` (draws never fire).
     pub faults: Option<femux_fault::FaultConfig>,
+    /// Causal span sampling. `None` — or a config with a non-positive
+    /// rate — compiles the span layer out of the run entirely: the
+    /// engine takes the exact same branches and produces byte-identical
+    /// output. The bench layer's `--span-sample` flag injects this via
+    /// the fleet runners (see `femux_obs::span::ambient`).
+    pub spans: Option<femux_obs::span::SpanConfig>,
 }
 
 impl Default for SimConfig {
@@ -122,6 +132,7 @@ impl Default for SimConfig {
             record_delays: false,
             obs_track_prefix: None,
             faults: None,
+            spans: None,
         }
     }
 }
@@ -156,6 +167,12 @@ pub struct SimResult {
     pub initial_pods: usize,
     /// Faults injected into this app's run (all zero when fault-free).
     pub faults: FaultStats,
+    /// Lifecycle spans of the sampled invocations, in arrival order
+    /// (empty unless [`SimConfig::spans`] carries a positive rate).
+    /// Exact-accounting contract: each span's
+    /// [`InvocationSpan::delay_secs`] equals the `delays_secs` entry at
+    /// the span's invocation index bitwise.
+    pub spans: Vec<InvocationSpan>,
 }
 
 /// A scale-up or scale-down event reconstructed from the pod-count
@@ -246,6 +263,11 @@ struct Pod {
     /// the times match (crashes reschedule the warm-up; evictions
     /// remove the pod entirely).
     warm_pending: bool,
+    /// Which decision brought this pod into existence (min-scale floor,
+    /// reactive admission, or proactive policy target) — the cause
+    /// reference the span layer attributes waits to. Survives crashes:
+    /// a restarted pod keeps its provenance.
+    origin: PodOrigin,
 }
 
 /// Internal integrator state.
@@ -301,6 +323,13 @@ struct Engine<'a> {
     /// sorts).
     index_of: BTreeMap<u64, usize>,
     stats: EngineStats,
+    /// Numeric app id, the sampler's first key component.
+    app_id: u64,
+    /// Deterministic invocation sampler (`None` = span layer off; see
+    /// [`SimConfig::spans`]).
+    sampler: Option<SpanSampler>,
+    /// Lifecycle spans of the sampled invocations, in arrival order.
+    spans: Vec<InvocationSpan>,
 }
 
 /// Removes the entries of `pending` that are due at `t`, preserving
@@ -372,7 +401,7 @@ impl Engine<'_> {
         }
     }
 
-    fn on_arrival(&mut self, inv: &Invocation, interval_end: u64) {
+    fn on_arrival(&mut self, inv: &Invocation, index: u64, interval_end: u64) {
         let t = inv.start_ms;
         self.advance(t);
         self.settle_warm(t);
@@ -381,7 +410,18 @@ impl Engine<'_> {
         let warm = self.warm_pods as u64 * self.concurrency;
         let executing = self.inflight.len() as u64 - self.waiting;
         let dur = inv.duration_ms as u64;
+        // `Some` iff this invocation is in the span sample. The cause is
+        // computed inside the admission branch that fired, so the hot
+        // path (sampler off, or invocation unsampled) stays untouched.
+        let sampled = self
+            .sampler
+            .as_ref()
+            .is_some_and(|s| s.sample(self.app_id, index));
+        let mut cause: Option<WaitCause> = None;
         let delay_ms = if executing < warm {
+            if sampled {
+                cause = Some(self.warm_origin_mix(t));
+            }
             0u64
         } else if let Some(&(warm_at, uid)) = self.joinable.first() {
             // Queue on an already-warming cold-start pod: the request
@@ -394,10 +434,29 @@ impl Engine<'_> {
             let end = warm_at + dur;
             pod.queued += 1;
             pod.keep_until = pod.keep_until.max(interval_end).max(end);
+            let origin = pod.origin;
             if pod.queued >= self.concurrency {
                 self.joinable.remove(&(warm_at, uid));
             }
             self.waiting += 1;
+            if sampled {
+                cause = Some(WaitCause::JoinedWarmingPod {
+                    pod_uid: uid,
+                    origin,
+                });
+                if let Some(track) = &self.track {
+                    // Flow step: bind this request to the spawn event of
+                    // the pod whose warm-up it is waiting out.
+                    femux_obs::flow(
+                        track,
+                        "span",
+                        "join",
+                        t * 1_000,
+                        FlowPhase::Step,
+                        femux_obs::span::flow_id(track, uid),
+                    );
+                }
+            }
             self.costs.cold_starts += 1;
             self.costs.cold_start_seconds += wait as f64 / 1_000.0;
             femux_obs::counter_add("sim.cold_starts", 1);
@@ -442,8 +501,39 @@ impl Engine<'_> {
                 queued: 1,
                 joinable: true,
                 warm_pending: cold > 0,
+                origin: PodOrigin::Reactive { at_ms: t },
             });
             self.index_of.insert(uid, self.pods.len() - 1);
+            if self.sampler.is_some() {
+                if let Some(track) = &self.track {
+                    // Flow start: every reactive spawn anchors a causal
+                    // arrow; later sampled joiners bind to it with flow
+                    // steps. Emitted for unsampled spawns too (a sampled
+                    // join may reference a pod an unsampled arrival
+                    // spawned), but only while the span layer is on.
+                    femux_obs::flow(
+                        track,
+                        "span",
+                        "pod-spawn",
+                        t * 1_000,
+                        FlowPhase::Start,
+                        femux_obs::span::flow_id(track, uid),
+                    );
+                }
+            }
+            if sampled {
+                cause = Some(WaitCause::FreshSpawn { pod_uid: uid });
+                if let Some(track) = &self.track {
+                    femux_obs::flow(
+                        track,
+                        "span",
+                        "join",
+                        t * 1_000,
+                        FlowPhase::Step,
+                        femux_obs::span::flow_id(track, uid),
+                    );
+                }
+            }
             if cold > 0 {
                 self.warm_events.push(Reverse((warm_at, uid)));
                 self.waiting += 1;
@@ -482,6 +572,91 @@ impl Engine<'_> {
         self.costs.service_seconds += (delay_ms + dur) as f64 / 1_000.0;
         if self.cfg.record_delays {
             self.delays.push(delay_ms as f64 / 1_000.0);
+        }
+        if let Some(cause) = cause {
+            self.record_span(t, index, delay_ms, dur, cause);
+        }
+    }
+
+    /// Provenance breakdown of the currently warm pods, as a
+    /// [`WaitCause::Warm`]. Only computed for sampled warm admissions —
+    /// an O(pods) scan, deliberately kept off the unsampled hot path.
+    fn warm_origin_mix(&self, t: u64) -> WaitCause {
+        let (mut min_scale, mut reactive, mut proactive) = (0, 0, 0);
+        for p in self.pods.iter().filter(|p| p.warm_at <= t) {
+            match p.origin {
+                PodOrigin::MinScale => min_scale += 1,
+                PodOrigin::Reactive { .. } => reactive += 1,
+                PodOrigin::Proactive { .. } => proactive += 1,
+            }
+        }
+        WaitCause::Warm { min_scale, reactive, proactive }
+    }
+
+    /// Records the lifecycle of one sampled invocation: the span table
+    /// entry (always), the per-segment breakdown histograms (when
+    /// telemetry is on), and the Chrome-trace lifecycle event (when
+    /// event recording is on). Exactly one wait segment is nonzero —
+    /// queue wait for joins, cold wait for fresh spawns — and their sum
+    /// is the `delay_ms` the engine just billed, so the exact-accounting
+    /// identity holds by construction.
+    fn record_span(
+        &mut self,
+        t: u64,
+        index: u64,
+        delay_ms: u64,
+        dur: u64,
+        cause: WaitCause,
+    ) {
+        let (queue_wait_ms, cold_wait_ms) = match cause {
+            WaitCause::Warm { .. } => (0, 0),
+            WaitCause::JoinedWarmingPod { .. } => (delay_ms, 0),
+            WaitCause::FreshSpawn { .. } => (0, delay_ms),
+        };
+        self.spans.push(InvocationSpan {
+            app: self.app_id,
+            index,
+            arrival_ms: t,
+            queue_wait_ms,
+            cold_wait_ms,
+            exec_ms: dur,
+            cause,
+        });
+        femux_obs::observe("span.queue_wait", queue_wait_ms);
+        femux_obs::observe("span.cold_wait", cold_wait_ms);
+        femux_obs::observe("span.exec", dur);
+        if let Some(track) = &self.track {
+            let mut span = SpanGuard::open(
+                track,
+                "span",
+                &format!("inv-{index}"),
+                t * 1_000,
+            );
+            span.end_at((t + delay_ms + dur) * 1_000);
+            span.arg("index", index);
+            span.arg("queue_wait_ms", queue_wait_ms);
+            span.arg("cold_wait_ms", cold_wait_ms);
+            span.arg("exec_ms", dur);
+            span.arg("cause", cause.code());
+            match cause {
+                WaitCause::Warm { min_scale, reactive, proactive } => {
+                    span.arg("warm_min_scale", min_scale);
+                    span.arg("warm_reactive", reactive);
+                    span.arg("warm_proactive", proactive);
+                }
+                WaitCause::JoinedWarmingPod { pod_uid, origin } => {
+                    span.arg("pod", pod_uid);
+                    span.arg("pod_origin", origin.code());
+                    if let PodOrigin::Reactive { at_ms }
+                    | PodOrigin::Proactive { at_ms } = origin
+                    {
+                        span.arg("pod_spawned_ms", at_ms);
+                    }
+                }
+                WaitCause::FreshSpawn { pod_uid } => {
+                    span.arg("pod", pod_uid);
+                }
+            }
         }
     }
 
@@ -603,6 +778,22 @@ impl Engine<'_> {
             target = target.max(self.min_scale);
         }
         femux_obs::counter_add("sim.ticks", 1);
+        if self.sampler.is_some() {
+            if let Some(track) = &self.track {
+                // Decision-point marker for the span layer: `lens` uses
+                // these to name the policy decision nearest a wait.
+                femux_obs::instant(
+                    track,
+                    "policy",
+                    "policy-decision",
+                    t * 1_000,
+                    &[
+                        ("target", target as u64),
+                        ("pods", self.pods.len() as u64),
+                    ],
+                );
+            }
+        }
         let fate = match self.faults.as_mut() {
             Some(faults) => faults.actuation_fate(),
             None => ActuationFate::Apply,
@@ -638,6 +829,7 @@ impl Engine<'_> {
                     queued: 0,
                     joinable: false,
                     warm_pending: cold > 0,
+                    origin: PodOrigin::Proactive { at_ms: t },
                 });
                 self.index_of.insert(uid, self.pods.len() - 1);
                 if cold > 0 {
@@ -824,6 +1016,24 @@ impl Engine<'_> {
             };
             self.stats.idle_transitions += 1;
             femux_obs::counter_add("sim.ticks", ticks);
+            if self.sampler.is_some() {
+                if let Some(track) = &self.track {
+                    // One marker per idle transition (the per-tick path
+                    // it replaces would emit one per tick; the trace
+                    // records the batched reality, with the run length).
+                    femux_obs::instant(
+                        track,
+                        "policy",
+                        "policy-decision",
+                        t * 1_000,
+                        &[
+                            ("target", target as u64),
+                            ("pods", self.pods.len() as u64),
+                            ("ticks", ticks),
+                        ],
+                    );
+                }
+            }
             self.apply_target(t, target);
             self.pod_counts.push(self.pods.len());
             if self.pods.len() < target {
@@ -907,6 +1117,7 @@ pub fn simulate_app_with_stats(
                 queued: 0,
                 joinable: false,
                 warm_pending: false,
+                origin: PodOrigin::MinScale,
             })
             .collect(),
         inflight: BinaryHeap::new(),
@@ -932,6 +1143,12 @@ pub fn simulate_app_with_stats(
         waiting: 0,
         index_of: (0..min_scale).map(|i| (i as u64, i)).collect(),
         stats: EngineStats::default(),
+        app_id: app.id.0 as u64,
+        sampler: cfg
+            .spans
+            .as_ref()
+            .and_then(SpanSampler::new),
+        spans: Vec::new(),
     };
 
     // `span_ms` bounds the replay: invocations at or after the span
@@ -950,7 +1167,7 @@ pub fn simulate_app_with_stats(
             Some(a) if a < next_tick || next_tick > span_ms => {
                 let interval_end = next_tick.min(span_ms);
                 let inv = replay[idx];
-                eng.on_arrival(&inv, interval_end);
+                eng.on_arrival(&inv, idx as u64, interval_end);
                 idx += 1;
             }
             _ => {
@@ -1028,6 +1245,7 @@ pub fn simulate_app_with_stats(
                 .faults
                 .map(|f| f.stats)
                 .unwrap_or_default(),
+            spans: eng.spans,
         },
         stats,
     )

@@ -73,13 +73,27 @@ impl FleetOutcome {
 
 /// Namespaces a fleet run's trace events so repeated sweeps over the
 /// same applications never reuse a track (each track must be one
-/// sequential emission unit). The epoch is drawn here, in sequential
+/// sequential emission unit), and injects the process-ambient span
+/// config (the bench layer's `--span-sample`) into configs that do not
+/// already carry one. The epoch is drawn here, in sequential
 /// coordination code, so its sequence is deterministic.
 fn with_run_epoch(cfg: &SimConfig) -> Cow<'_, SimConfig> {
-    if femux_obs::events_enabled() && cfg.obs_track_prefix.is_none() {
+    let need_prefix =
+        femux_obs::events_enabled() && cfg.obs_track_prefix.is_none();
+    let ambient_spans = if cfg.spans.is_none() {
+        femux_obs::span::ambient()
+    } else {
+        None
+    };
+    if need_prefix || ambient_spans.is_some() {
         let mut c = cfg.clone();
-        c.obs_track_prefix =
-            Some(format!("fleet-{:02}", femux_obs::next_track_epoch()));
+        if need_prefix {
+            c.obs_track_prefix =
+                Some(format!("fleet-{:02}", femux_obs::next_track_epoch()));
+        }
+        if ambient_spans.is_some() {
+            c.spans = ambient_spans;
+        }
         Cow::Owned(c)
     } else {
         Cow::Borrowed(cfg)

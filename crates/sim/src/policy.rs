@@ -194,6 +194,7 @@ impl ScalingPolicy for KeepAlivePolicy {
     }
 
     fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize {
+        femux_obs::counter_add("policy.decisions", 1);
         let intervals = ((self.window_secs * 1_000) / ctx.interval_ms)
             .max(1) as usize;
         let start = ctx.peak_concurrency.len().saturating_sub(intervals);
@@ -218,7 +219,11 @@ impl ScalingPolicy for KeepAlivePolicy {
         if ctx.peak_concurrency[start..].iter().all(|&v| v == 0.0) {
             // The trailing window shows no activity and every further
             // tick of the stretch appends another zero: the target is 0
-            // for the whole remainder. Stateless, so nothing to advance.
+            // for the whole remainder. Stateless, so nothing to advance
+            // — except the decision counter, which the per-tick path
+            // would have bumped once per skipped tick (the tick_idle
+            // telemetry contract).
+            femux_obs::counter_add("policy.decisions", max_ticks);
             IdleRun {
                 target: 0,
                 ticks: max_ticks,
@@ -244,6 +249,7 @@ impl ScalingPolicy for KnativeDefaultPolicy {
     }
 
     fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize {
+        femux_obs::counter_add("policy.decisions", 1);
         let intervals =
             (60_000 / ctx.interval_ms).max(1) as usize;
         let start = ctx.avg_concurrency.len().saturating_sub(intervals);
@@ -272,7 +278,9 @@ impl ScalingPolicy for KnativeDefaultPolicy {
         if ctx.avg_concurrency[start..].iter().all(|&v| v == 0.0) {
             // An all-zero (or still empty) stable window with nothing in
             // flight decides 0, at this tick and at every later tick of
-            // the stretch. Stateless, so nothing to advance.
+            // the stretch. Stateless, so nothing to advance except the
+            // per-tick decision counter (tick_idle telemetry contract).
+            femux_obs::counter_add("policy.decisions", max_ticks);
             IdleRun {
                 target: 0,
                 ticks: max_ticks,
@@ -321,6 +329,7 @@ impl ScalingPolicy for ForecastPolicy {
     }
 
     fn target_pods(&mut self, ctx: &PolicyCtx<'_>) -> usize {
+        femux_obs::counter_add("policy.decisions", 1);
         let start =
             ctx.avg_concurrency.len().saturating_sub(self.history);
         let window = &ctx.avg_concurrency[start..];
@@ -353,7 +362,10 @@ impl ScalingPolicy for ForecastPolicy {
             // The history window is saturated and all-zero, so it is
             // byte-identical at every tick of the stretch; forecasters
             // are pure outside `train` (a `femux_forecast::Forecaster`
-            // contract), so one forecast decides the whole run.
+            // contract), so one forecast decides the whole run. The
+            // decision counter advances once per skipped tick (the
+            // tick_idle telemetry contract).
+            femux_obs::counter_add("policy.decisions", max_ticks);
             let pred = self
                 .forecaster
                 .forecast(window, self.horizon.max(1))
@@ -383,6 +395,7 @@ impl ScalingPolicy for FixedPolicy {
     }
 
     fn target_pods(&mut self, _ctx: &PolicyCtx<'_>) -> usize {
+        femux_obs::counter_add("policy.decisions", 1);
         self.0
     }
 
@@ -393,6 +406,7 @@ impl ScalingPolicy for FixedPolicy {
         _current_pods: usize,
         max_ticks: u64,
     ) -> IdleRun {
+        femux_obs::counter_add("policy.decisions", max_ticks);
         IdleRun {
             target: self.0,
             ticks: max_ticks,
@@ -411,6 +425,7 @@ impl ScalingPolicy for ZeroPolicy {
     }
 
     fn target_pods(&mut self, _ctx: &PolicyCtx<'_>) -> usize {
+        femux_obs::counter_add("policy.decisions", 1);
         0
     }
 
@@ -421,6 +436,7 @@ impl ScalingPolicy for ZeroPolicy {
         _current_pods: usize,
         max_ticks: u64,
     ) -> IdleRun {
+        femux_obs::counter_add("policy.decisions", max_ticks);
         IdleRun {
             target: 0,
             ticks: max_ticks,

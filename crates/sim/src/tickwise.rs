@@ -343,5 +343,8 @@ pub fn simulate_app_tickwise(
         pod_counts: eng.pod_counts,
         initial_pods: min_scale,
         faults: femux_fault::FaultStats::default(),
+        // The frozen twin predates the span layer and never implements
+        // it; equivalence runs compare with `SimConfig::spans` unset.
+        spans: Vec::new(),
     }
 }
