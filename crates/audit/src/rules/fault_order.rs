@@ -4,9 +4,13 @@
 //! `femux_fault::AppFaults` performs exactly one uniform draw per
 //! method call so the stream advances identically whether or not a
 //! fault fires; the sim engine's determinism contract is that each
-//! tick draws `crash_pod` → `lose_report` → `actuation_fate` in that
-//! fixed order (`straggle` is drawn per cold-start, outside the tick
-//! sequence). Two ways code silently breaks replay equivalence:
+//! tick draws `crash_pod` → `lose_report` → `crash_node` →
+//! `actuation_fate` in that fixed order (`straggle` is drawn per
+//! cold-start, outside the tick sequence; `crash_node` draws from its
+//! own per-node streams, but its *placement* in the tick still decides
+//! which pods each later draw can see, so it carries an ordinal like
+//! the shared-stream draws). Two ways code silently breaks replay
+//! equivalence:
 //!
 //! - **reordering the draws** — swapping `lose_report` before
 //!   `crash_pod` hands each draw a different `u64` from the stream, so
@@ -27,7 +31,8 @@ use crate::lexer::TokKind;
 use crate::parser::Expr;
 
 /// Per-tick draw methods, index = required ordinal.
-const TICK_DRAWS: &[&str] = &["crash_pod", "lose_report", "actuation_fate"];
+const TICK_DRAWS: &[&str] =
+    &["crash_pod", "lose_report", "crash_node", "actuation_fate"];
 
 /// See module docs.
 pub struct FaultDrawOrder;
@@ -39,7 +44,8 @@ impl Rule for FaultDrawOrder {
 
     fn describe(&self) -> &'static str {
         "per-tick fault draws must run crash_pod -> lose_report -> \
-         actuation_fate with no mid-sequence fault-state reads"
+         crash_node -> actuation_fate with no mid-sequence fault-state \
+         reads"
     }
 
     fn check_source(&self, cx: &FileContext, out: &mut RuleOutput) {

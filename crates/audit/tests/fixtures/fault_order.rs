@@ -26,6 +26,36 @@ pub fn allowed_reorder(faults: &mut AppFaults, pods: usize) {
     let _crashed = faults.crash_pod(pods);
 }
 
+pub fn tick_good_with_nodes(
+    faults: &mut AppFaults,
+    nodes: &mut NodeFaults,
+    pods: usize,
+) {
+    let _crashed = faults.crash_pod(pods);
+    let _lost = faults.lose_report();
+    let _node = nodes.crash_node(0);
+    let _fate = faults.actuation_fate();
+}
+
+pub fn tick_node_crash_after_fate(
+    faults: &mut AppFaults,
+    nodes: &mut NodeFaults,
+    pods: usize,
+) {
+    let _crashed = faults.crash_pod(pods);
+    let _fate = faults.actuation_fate();
+    let _node = nodes.crash_node(0);
+}
+
+pub fn allowed_node_reorder(
+    faults: &mut AppFaults,
+    nodes: &mut NodeFaults,
+) {
+    let _fate = faults.actuation_fate();
+    // audit:allow(fault-draw-order, reason = "fixture: drains a recorded crash backlog after the actuation draw")
+    let _node = nodes.crash_node(0);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

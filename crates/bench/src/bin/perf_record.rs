@@ -5,12 +5,15 @@
 //! IBM-like fleet, and a bursty Azure-like fleet — run through both the
 //! event-queue engine (`simulate_app`) and the frozen pre-event-queue
 //! per-tick reference (`simulate_app_tickwise`), per policy, recording
-//! wall time and simulated invocations/second. One extra case re-runs
-//! the dense fleet with every invocation's lifecycle span sampled
-//! (engine `event-spans`), pairing with its spans-off twin so the
-//! layer's overhead is priced in the committed baseline. Case order is
-//! fixed, so the document layout is deterministic; only the two
-//! wall-derived fields vary between machines.
+//! wall time and simulated invocations/second. Two extra cases re-run
+//! the dense fleet with a layer enabled so its overhead is priced in
+//! the committed baseline: every invocation's lifecycle span sampled
+//! (engine `event-spans`), and a finite 16-node cluster with node
+//! crashes injected (engine `event-cluster` — placement, eviction
+//! scans, and the node fault domain all on the hot path). Both pair
+//! with `(ibm-dense-3d, keepalive-10min, event)`. Case order is fixed,
+//! so the document layout is deterministic; only the two wall-derived
+//! fields vary between machines.
 //!
 //! Usage: `perf_record [--quick] [--schema-only] [--out PATH]
 //! [--check PATH] [--compare PATH [--tolerance T]]`
@@ -33,8 +36,8 @@
 use std::fmt::Write as _;
 
 use femux_sim::{
-    simulate_app, simulate_app_tickwise, KeepAlivePolicy,
-    KnativeDefaultPolicy, ScalingPolicy, SimConfig,
+    simulate_app, simulate_app_tickwise, ClusterConfig, KeepAlivePolicy,
+    KnativeDefaultPolicy, NodeConfig, ScalingPolicy, SimConfig,
 };
 use femux_trace::synth::azure::{self, AzureFleetConfig};
 use femux_trace::synth::ibm::{self, IbmFleetConfig};
@@ -59,6 +62,7 @@ fn case_labels() -> Vec<(&'static str, &'static str, &'static str)> {
         }
     }
     labels.push(("ibm-dense-3d", "keepalive-10min", "event-spans"));
+    labels.push(("ibm-dense-3d", "keepalive-10min", "event-cluster"));
     labels
 }
 
@@ -126,6 +130,23 @@ fn run_case(
         // span recording).
         "event-spans" => SimConfig {
             spans: Some(femux_obs::span::SpanConfig::all(0x5EED)),
+            ..SimConfig::default()
+        },
+        // The cluster-overhead case: finite nodes with memory-pressure
+        // eviction live and the node fault domain drawing every tick.
+        "event-cluster" => SimConfig {
+            cluster: Some(ClusterConfig::uniform(
+                16,
+                NodeConfig {
+                    cpu_milli: u64::MAX,
+                    mem_mb: 600,
+                },
+            )),
+            faults: Some(femux_fault::FaultConfig {
+                node_crash_rate: 0.01,
+                node_recovery_ticks: 2,
+                ..femux_fault::FaultConfig::off(0xC1A5)
+            }),
             ..SimConfig::default()
         },
         _ => SimConfig::default(),

@@ -24,8 +24,20 @@
 //! graceful degradation of each system at its own cadence, not a
 //! per-fault-count-matched benchmark.
 //!
+//! After the policy sweep, a **cluster fault-domain sweep** replays the
+//! IBM fleet on finite clusters of {4, 16, 64} nodes at node-crash
+//! rates {0, 1, 5} % per tick: memory pressure forces evictions on the
+//! small clusters while whole-node crashes displace and restart pods on
+//! the large ones. The same three properties hold, with the plan
+//! accounting extended to the cluster ledger: node-crash draws that
+//! fired must equal both the `fault.node_crashes` telemetry counter and
+//! the sum of per-app cluster ledgers, and every eviction, overcommit,
+//! denial, and restart in telemetry must match the ledgers exactly.
+//!
 //! Flags: `--fault-rate <f>` replaces the default rate sweep with a
-//! single rate; `--metrics-out <path>` writes the final metrics JSON.
+//! single rate; `--metrics-out <path>` writes the final metrics JSON;
+//! `--quick` shrinks the cluster grid to its corners ({4, 64} nodes ×
+//! {0, 5} %) for CI.
 
 use std::sync::Arc;
 
@@ -39,7 +51,8 @@ use femux_fault::{FaultConfig, FaultStats};
 use femux_knative::{KpaConfig, KpaPolicy};
 use femux_rum::RumSpec;
 use femux_sim::{
-    run_fleet_auto, FleetOutcome, KeepAlivePolicy, KnativeDefaultPolicy,
+    run_fleet_auto, run_fleet_detailed, ClusterConfig, ClusterOutcome,
+    FleetOutcome, KeepAlivePolicy, KnativeDefaultPolicy, NodeConfig,
     SimConfig,
 };
 use femux_trace::repr::concurrency_per_minute;
@@ -59,6 +72,7 @@ const POLICIES: [&str; 5] =
 fn main() {
     let mut rates = vec![0.0, 0.01, 0.05, 0.10];
     let mut metrics_out: Option<String> = None;
+    let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -73,6 +87,7 @@ fn main() {
                 metrics_out =
                     Some(args.next().expect("--metrics-out takes a path"));
             }
+            "--quick" => quick = true,
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -128,8 +143,121 @@ fn main() {
         &rows,
     );
 
+    // Cluster fault-domain sweep: finite nodes, memory-pressure
+    // eviction, and whole-node crash/recovery on the IBM fleet.
+    let (node_counts, node_rates): (&[usize], &[f64]) = if quick {
+        (&[4, 64], &[0.0, 0.05])
+    } else {
+        (&[4, 16, 64], &[0.0, 0.01, 0.05])
+    };
+    let mut ledger = ClusterOutcome::default();
+    let mut cluster_rows = Vec::new();
+    for &nodes in node_counts {
+        for &rate in node_rates {
+            // Only the node layer varies: pod-level rates stay zero so
+            // every injection in this phase is attributable to it.
+            let plan = FaultConfig {
+                node_crash_rate: rate,
+                node_recovery_ticks: 2,
+                ..FaultConfig::off(FAULT_SEED)
+            };
+            plan.validate().expect("node plan is sane");
+            for policy in ["keepalive-10min", "knative-default"] {
+                let cfg = SimConfig {
+                    respect_min_scale: false,
+                    faults: Some(plan.clone()),
+                    // ~4 median pods per node: the 4-node points run
+                    // under real memory pressure, the 64-node points
+                    // are crash-dominated.
+                    cluster: Some(ClusterConfig::uniform(
+                        nodes,
+                        NodeConfig {
+                            cpu_milli: u64::MAX,
+                            mem_mb: 600,
+                        },
+                    )),
+                    ..SimConfig::default()
+                };
+                let results =
+                    run_fleet_detailed(&ibm_trace, &cfg, |_, _| {
+                        match policy {
+                            "keepalive-10min" => Box::new(
+                                KeepAlivePolicy::ten_minutes(),
+                            ),
+                            _ => Box::new(KnativeDefaultPolicy),
+                        }
+                    });
+                let per_app: Vec<_> =
+                    results.iter().map(|r| r.costs.clone()).collect();
+                check_finite_records(
+                    &rum,
+                    &per_app,
+                    "ibm-cluster",
+                    policy,
+                    rate,
+                );
+                let mut scenario = ClusterOutcome::default();
+                for r in &results {
+                    grand.merge(&r.faults);
+                    let c = r
+                        .cluster
+                        .as_ref()
+                        .expect("cluster configured, ledger present");
+                    assert!(
+                        c.conserved(),
+                        "{policy} @ {nodes}n/{rate}: ledger leak: {c:?}"
+                    );
+                    // Plan vs ledger: the draws the fault layer says
+                    // fired are the crashes the cluster recorded.
+                    assert_eq!(
+                        r.faults.node_crashes, c.node_crashes,
+                        "{policy} @ {nodes}n/{rate}: plan and ledger \
+                         disagree on node crashes"
+                    );
+                    scenario.absorb(c);
+                }
+                ledger.absorb(&scenario);
+                cluster_rows.push(vec![
+                    nodes.to_string(),
+                    format!("{:.0}%", rate * 100.0),
+                    policy.to_string(),
+                    f1(rum.evaluate_fleet(&per_app)),
+                    scenario.evictions.to_string(),
+                    scenario.saturated_overcommits.to_string(),
+                    scenario.node_crashes.to_string(),
+                    scenario.node_restarts.to_string(),
+                ]);
+            }
+            eprintln!("ibm-cluster {nodes}n @ {:.0}% done", rate * 100.0);
+        }
+    }
+    print_table(
+        "Cluster fault domains — IBM fleet on finite nodes (600 MB \
+         each) under per-tick node-crash rates",
+        &[
+            "nodes",
+            "crash rate",
+            "system",
+            "RUM",
+            "evictions",
+            "saturated",
+            "node crashes",
+            "restarts",
+        ],
+        &cluster_rows,
+    );
+    assert!(
+        ledger.evictions > 0,
+        "the 4-node scenarios must exercise memory-pressure eviction"
+    );
+    assert!(
+        ledger.node_crashes > 0 && ledger.node_restarts > 0,
+        "the nonzero-rate scenarios must crash and restart"
+    );
+
     // Property 2: telemetry must account for every injection in the
-    // merged fault totals, class by class.
+    // merged fault totals, class by class — including the cluster
+    // ledger's eviction and restart counts.
     let report = femux_obs::collect();
     let classes = [
         ("fault.pod_crashes", grand.pod_crashes),
@@ -138,6 +266,11 @@ fn main() {
         ("fault.actuation_drops", grand.actuation_drops),
         ("fault.report_losses", grand.report_losses),
         ("fault.forecast_faults", grand.forecast_faults),
+        ("fault.node_crashes", grand.node_crashes),
+        ("fault.node_restarts", ledger.node_restarts),
+        ("evict.evictions", ledger.evictions),
+        ("evict.saturated_overcommits", ledger.saturated_overcommits),
+        ("evict.placement_denials", ledger.placement_denials),
     ];
     let mut ok = true;
     for (name, want) in classes {
@@ -202,23 +335,41 @@ fn check_finite(
     policy: &str,
     rate: f64,
 ) {
-    for (i, rec) in out.per_app.iter().enumerate() {
-        let score = rum.evaluate(rec);
-        assert!(
-            score.is_finite(),
-            "{fleet}/{policy} @ {rate}: app {i} RUM is {score}"
-        );
-    }
-    let fleet_rum = rum.evaluate_fleet(&out.per_app);
-    assert!(
-        fleet_rum.is_finite(),
-        "{fleet}/{policy} @ {rate}: fleet RUM is {fleet_rum}"
-    );
+    check_finite_records(rum, &out.per_app, fleet, policy, rate);
     assert!(
         out.total.allocated_gb_seconds.is_finite()
             && out.total.wasted_gb_seconds.is_finite()
             && out.total.service_seconds.is_finite(),
         "{fleet}/{policy} @ {rate}: non-finite fleet totals"
+    );
+}
+
+/// The per-record half of [`check_finite`], shared with the cluster
+/// sweep (which aggregates its own records from detailed results).
+fn check_finite_records(
+    rum: &RumSpec,
+    per_app: &[femux_rum::CostRecord],
+    fleet: &str,
+    policy: &str,
+    rate: f64,
+) {
+    for (i, rec) in per_app.iter().enumerate() {
+        let score = rum.evaluate(rec);
+        assert!(
+            score.is_finite(),
+            "{fleet}/{policy} @ {rate}: app {i} RUM is {score}"
+        );
+        assert!(
+            rec.allocated_gb_seconds.is_finite()
+                && rec.wasted_gb_seconds.is_finite()
+                && rec.service_seconds.is_finite(),
+            "{fleet}/{policy} @ {rate}: non-finite costs for app {i}"
+        );
+    }
+    let fleet_rum = rum.evaluate_fleet(per_app);
+    assert!(
+        fleet_rum.is_finite(),
+        "{fleet}/{policy} @ {rate}: fleet RUM is {fleet_rum}"
     );
 }
 

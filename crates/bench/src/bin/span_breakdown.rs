@@ -37,6 +37,8 @@ struct Tally {
     warm_proactive_pods: u64,
     joined: u64,
     fresh: u64,
+    evicted: u64,
+    saturated: u64,
 }
 
 impl Tally {
@@ -51,6 +53,7 @@ impl Tally {
                     min_scale,
                     reactive,
                     proactive,
+                    ..
                 } => {
                     self.warm += 1;
                     self.warm_min_scale_pods += min_scale;
@@ -59,6 +62,8 @@ impl Tally {
                 }
                 WaitCause::JoinedWarmingPod { .. } => self.joined += 1,
                 WaitCause::FreshSpawn { .. } => self.fresh += 1,
+                WaitCause::Evicted { .. } => self.evicted += 1,
+                WaitCause::Saturated => self.saturated += 1,
             }
         }
     }

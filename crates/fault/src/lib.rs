@@ -22,6 +22,12 @@
 //! - **Report loss** ([`AppFaults::lose_report`]): the queue-proxy
 //!   concurrency report for an interval goes missing; policies see a
 //!   `NaN` sample and must degrade gracefully.
+//! - **Node crashes** ([`NodeFaults::crash_node`]): an entire cluster
+//!   node goes down, killing every resident pod at once; the node comes
+//!   back after [`FaultConfig::node_recovery_ticks`] intervals while the
+//!   engine reschedules the displaced pods onto survivors under capped
+//!   exponential backoff. Only meaningful when the simulator's cluster
+//!   layer (`SimConfig::cluster`) is enabled.
 //! - **Forecaster faults** ([`ForecastFaults::fate`]): a forecaster
 //!   returns `NaN`/`∞` or panics outright ([`inject_panic`]), exercising
 //!   the manager's fallback ladder.
@@ -35,8 +41,11 @@
 //! its own (sequential) simulation, never on `FEMUX_THREADS`, other
 //! apps, or scheduling. Injection sites draw in a fixed order per tick
 //! (per-pod crash draws in pod order, then the report-loss draw, then
-//! the actuation-fate draw after the policy decision; one straggler
-//! draw per cold start), which the sim engine documents and upholds.
+//! the per-node crash draws in node order, then the actuation-fate draw
+//! after the policy decision; one straggler draw per cold start), which
+//! the sim engine documents and upholds. The node stream is keyed by
+//! node index rather than app id (see [`FaultConfig::node_faults`]) but
+//! each app run owns a private copy, so per-app independence holds.
 //!
 //! A plan with all rates zero draws but never triggers, so its runs are
 //! byte-identical to runs with no fault layer at all; `fault.*`
@@ -49,6 +58,12 @@ use femux_trace::types::AppId;
 const ENGINE_DOMAIN: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Domain separator for the forecaster-fault stream.
 const FORECAST_DOMAIN: u64 = 0xC2B2_AE3D_27D4_EB4F;
+/// Domain separator for the per-node crash stream. Keyed by
+/// (`seed`, node index, this domain) — *not* by app — so every app run
+/// replays the same cluster-wide crash plan; and separated from the
+/// pod-level domains so enabling (or zero-rating) node crashes never
+/// shifts a single pod-level draw.
+const NODE_DOMAIN: u64 = 0xD6E8_FEB8_6659_FD93;
 
 /// Rates and parameters for every injectable fault class.
 ///
@@ -76,6 +91,10 @@ pub struct FaultConfig {
     pub report_loss_rate: f64,
     /// Per-forecast probability of an injected forecaster fault.
     pub forecast_fault_rate: f64,
+    /// Per-node, per-tick crash probability (cluster layer only).
+    pub node_crash_rate: f64,
+    /// Intervals a crashed node stays down before recovering (≥ 1).
+    pub node_recovery_ticks: u64,
 }
 
 impl FaultConfig {
@@ -91,6 +110,8 @@ impl FaultConfig {
             actuation_drop_rate: 0.0,
             report_loss_rate: 0.0,
             forecast_fault_rate: 0.0,
+            node_crash_rate: 0.0,
+            node_recovery_ticks: 1,
         }
     }
 
@@ -104,6 +125,7 @@ impl FaultConfig {
             actuation_drop_rate: rate,
             report_loss_rate: rate,
             forecast_fault_rate: rate,
+            node_crash_rate: rate,
             ..FaultConfig::off(seed)
         }
     }
@@ -117,6 +139,7 @@ impl FaultConfig {
             ("actuation_drop_rate", self.actuation_drop_rate),
             ("report_loss_rate", self.report_loss_rate),
             ("forecast_fault_rate", self.forecast_fault_rate),
+            ("node_crash_rate", self.node_crash_rate),
         ];
         for (name, r) in rates {
             if !r.is_finite() || !(0.0..=1.0).contains(&r) {
@@ -136,6 +159,13 @@ impl FaultConfig {
                 "straggler_factor must be a finite multiplier >= 1, got {}",
                 self.straggler_factor
             ));
+        }
+        if self.node_recovery_ticks == 0 {
+            return Err(
+                "node_recovery_ticks must be >= 1 (a crashed node is \
+                 down for at least one interval)"
+                    .to_string(),
+            );
         }
         Ok(())
     }
@@ -174,6 +204,33 @@ impl FaultConfig {
             stats: FaultStats::default(),
         }
     }
+
+    /// The node-crash streams for an `n_nodes`-node cluster. Each node
+    /// gets a private stream keyed by (`seed`, node index,
+    /// `NODE_DOMAIN`) — deliberately app-free, so every app run replays
+    /// the same cluster-wide crash plan. Each run still owns its own
+    /// copy, preserving per-app (and therefore thread-count)
+    /// determinism.
+    pub fn node_faults(&self, n_nodes: usize) -> NodeFaults {
+        NodeFaults {
+            rngs: (0..n_nodes)
+                .map(|node| {
+                    Rng::seed_from_u64(
+                        Rng::seed_from_u64(
+                            self.seed
+                                ^ NODE_DOMAIN
+                                ^ (node as u64)
+                                    .wrapping_mul(0x2545_F491_4F6C_DD1D),
+                        )
+                        .next_u64(),
+                    )
+                })
+                .collect(),
+            rate: self.node_crash_rate,
+            recovery_ticks: self.node_recovery_ticks,
+            stats: FaultStats::default(),
+        }
+    }
 }
 
 /// Counts of every injected fault, per app or merged fleet-wide.
@@ -195,6 +252,8 @@ pub struct FaultStats {
     pub report_losses: u64,
     /// Forecaster outputs corrupted or panicked.
     pub forecast_faults: u64,
+    /// Cluster nodes crashed (every resident pod displaced at once).
+    pub node_crashes: u64,
 }
 
 impl FaultStats {
@@ -206,6 +265,7 @@ impl FaultStats {
         self.actuation_drops += other.actuation_drops;
         self.report_losses += other.report_losses;
         self.forecast_faults += other.forecast_faults;
+        self.node_crashes += other.node_crashes;
     }
 
     /// Total injections across every class.
@@ -216,6 +276,7 @@ impl FaultStats {
             + self.actuation_drops
             + self.report_losses
             + self.forecast_faults
+            + self.node_crashes
     }
 }
 
@@ -297,6 +358,46 @@ impl AppFaults {
         } else {
             ActuationFate::Apply
         }
+    }
+}
+
+/// The cluster's node-crash streams: one private RNG per node.
+///
+/// The sim engine draws once per *up* node per tick, in ascending node
+/// order, after the pod-level per-tick draws (`crash_pod`,
+/// `lose_report`) and before the decision-side `actuation_fate` draw —
+/// the draw-order contract the `fault-draw-order` audit rule enforces.
+/// Down nodes cannot crash again, so they are skipped; up-ness is
+/// itself deterministic, so the stream stays replayable.
+#[derive(Debug, Clone)]
+pub struct NodeFaults {
+    rngs: Vec<Rng>,
+    rate: f64,
+    recovery_ticks: u64,
+    /// Injections fired so far (only `node_crashes` is ever non-zero).
+    pub stats: FaultStats,
+}
+
+impl NodeFaults {
+    /// One per-up-node, per-tick draw: does this node crash now?
+    pub fn crash_node(&mut self, node: usize) -> bool {
+        if self.rngs[node].chance(self.rate) {
+            self.stats.node_crashes += 1;
+            femux_obs::counter_add("fault.node_crashes", 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many intervals a crashed node stays down.
+    pub fn recovery_ticks(&self) -> u64 {
+        self.recovery_ticks
+    }
+
+    /// Number of per-node streams (== cluster node count).
+    pub fn n_nodes(&self) -> usize {
+        self.rngs.len()
     }
 }
 
@@ -500,12 +601,86 @@ mod tests {
             actuation_drops: 4,
             report_losses: 5,
             forecast_faults: 6,
+            node_crashes: 7,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.pod_crashes, 2);
         assert_eq!(a.forecast_faults, 12);
+        assert_eq!(a.node_crashes, 14);
         assert_eq!(a.total(), 2 * b.total());
+    }
+
+    #[test]
+    fn node_streams_are_per_node_and_replayable() {
+        let cfg = FaultConfig::uniform(7, 0.5);
+        let mut a = cfg.node_faults(4);
+        let mut b = cfg.node_faults(4);
+        for _ in 0..100 {
+            for node in 0..4 {
+                assert_eq!(a.crash_node(node), b.crash_node(node));
+            }
+        }
+        assert_eq!(a.stats, b.stats);
+        let draws = |node: usize| {
+            let mut f = cfg.node_faults(4);
+            (0..64).map(|_| f.crash_node(node)).collect::<Vec<_>>()
+        };
+        assert_ne!(draws(0), draws(1), "streams must differ per node");
+    }
+
+    #[test]
+    fn node_domain_is_separated_from_pod_domains() {
+        // Draining the node stream must not shift the app streams: the
+        // app stream is constructed from (seed, app, ENGINE_DOMAIN)
+        // only, so the sequences are independent by construction.
+        let cfg = FaultConfig::uniform(7, 0.5);
+        let before: Vec<bool> = {
+            let mut e = cfg.engine_faults(app(1));
+            (0..64).map(|_| e.crash_pod()).collect()
+        };
+        let mut n = cfg.node_faults(2);
+        for _ in 0..64 {
+            n.crash_node(0);
+            n.crash_node(1);
+        }
+        let after: Vec<bool> = {
+            let mut e = cfg.engine_faults(app(1));
+            (0..64).map(|_| e.crash_pod()).collect()
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn node_zero_rate_never_fires_and_full_rate_always_does() {
+        let mut f = FaultConfig::off(9).node_faults(3);
+        for _ in 0..200 {
+            for node in 0..3 {
+                assert!(!f.crash_node(node));
+            }
+        }
+        assert_eq!(f.stats, FaultStats::default());
+
+        let mut f = FaultConfig::uniform(9, 1.0).node_faults(3);
+        for _ in 0..50 {
+            for node in 0..3 {
+                assert!(f.crash_node(node));
+            }
+        }
+        assert_eq!(f.stats.node_crashes, 150);
+        assert_eq!(f.stats.total(), 150);
+        assert_eq!(f.recovery_ticks(), 1);
+        assert_eq!(f.n_nodes(), 3);
+    }
+
+    #[test]
+    fn node_recovery_ticks_zero_is_rejected() {
+        let mut cfg = FaultConfig::off(1);
+        cfg.node_recovery_ticks = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FaultConfig::off(1);
+        cfg.node_crash_rate = 1.5;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -36,13 +36,22 @@ struct SpanRow {
     queue_wait_ms: u64,
     cold_wait_ms: u64,
     exec_ms: u64,
-    /// 0 = warm, 1 = joined a warming pod, 2 = fresh spawn.
+    /// 0 = warm, 1 = joined a warming pod, 2 = fresh spawn,
+    /// 3 = evicted a victim, 4 = saturated overcommit.
     cause: u64,
     warm_mix: Option<(u64, u64, u64)>,
+    /// Post-crash restarts in the warm mix (absent in pre-cluster
+    /// traces).
+    warm_restarted: Option<u64>,
     pod: Option<u64>,
-    /// 0 = min-scale, 1 = reactive, 2 = proactive.
+    /// 0 = min-scale, 1 = reactive, 2 = proactive, 3 = restarted
+    /// after a node crash.
     pod_origin: Option<u64>,
     pod_spawned_ms: Option<u64>,
+    /// Cluster node of an eviction (cause 3).
+    node: Option<u64>,
+    /// Warm pod reclaimed to make room (cause 3).
+    victim_pod: Option<u64>,
 }
 
 impl SpanRow {
@@ -55,12 +64,17 @@ impl SpanRow {
             0 => {
                 let mix = self
                     .warm_mix
-                    .map(|(m, r, p)| {
-                        format!(
+                    .map(|(m, r, p)| match self.warm_restarted {
+                        Some(x) if x > 0 => format!(
+                            " ({} min-scale, {} reactive, {} proactive, \
+                             {} crash-restarted warm pods)",
+                            m, r, p, x
+                        ),
+                        _ => format!(
                             " ({} min-scale, {} reactive, {} proactive \
                              warm pods)",
                             m, r, p
-                        )
+                        ),
                     })
                     .unwrap_or_default();
                 format!("admitted on warm capacity{mix}")
@@ -80,6 +94,15 @@ impl SpanRow {
                             format!(" (spawned proactively at t={t} ms)")
                         })
                         .unwrap_or_default(),
+                    Some(3) => self
+                        .pod_spawned_ms
+                        .map(|t| {
+                            format!(
+                                " (restarted at t={t} ms after its \
+                                 node crashed)"
+                            )
+                        })
+                        .unwrap_or_default(),
                     _ => String::new(),
                 };
                 format!(
@@ -90,6 +113,21 @@ impl SpanRow {
                         .unwrap_or_else(|| "?".to_string()),
                 )
             }
+            3 => format!(
+                "memory pressure: evicted idle warm pod {} from node {} \
+                 to make room, then paid a full cold start on the \
+                 replacement",
+                self.victim_pod
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "?".to_string()),
+                self.node
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "?".to_string()),
+            ),
+            4 => "cluster saturated with no evictable victim: ran \
+                  overcommitted at the full cold penalty, no pod \
+                  created"
+                .to_string(),
             _ => format!(
                 "cold start on freshly spawned pod {}",
                 self.pod
@@ -170,9 +208,12 @@ fn parse_spans(text: &str) -> Result<Vec<SpanRow>, String> {
             exec_ms: need("exec_ms")?,
             cause: need("cause")?,
             warm_mix,
+            warm_restarted: field_u64(line, "warm_restarted"),
             pod: field_u64(line, "pod"),
             pod_origin: field_u64(line, "pod_origin"),
             pod_spawned_ms: field_u64(line, "pod_spawned_ms"),
+            node: field_u64(line, "node"),
+            victim_pod: field_u64(line, "victim_pod"),
         });
     }
     Ok(rows)
@@ -225,6 +266,8 @@ fn list(rows: &[SpanRow], app: Option<u32>) -> String {
             match row.cause {
                 0 => "warm",
                 1 => "joined-warming",
+                3 => "evicted",
+                4 => "saturated",
                 _ => "fresh-spawn",
             },
         );
@@ -235,12 +278,12 @@ fn list(rows: &[SpanRow], app: Option<u32>) -> String {
 fn breakdown(rows: &[SpanRow]) -> String {
     use std::fmt::Write as _;
     let (mut queue, mut cold, mut exec) = (0u64, 0u64, 0u64);
-    let mut by_cause = [0u64; 3];
+    let mut by_cause = [0u64; 5];
     for row in rows {
         queue += row.queue_wait_ms;
         cold += row.cold_wait_ms;
         exec += row.exec_ms;
-        by_cause[(row.cause.min(2)) as usize] += 1;
+        by_cause[(row.cause.min(4)) as usize] += 1;
     }
     let mut out = String::new();
     let _ = writeln!(out, "sampled spans: {}", rows.len());
@@ -249,8 +292,9 @@ fn breakdown(rows: &[SpanRow]) -> String {
     let _ = writeln!(out, "  exec total:       {exec} ms");
     let _ = writeln!(
         out,
-        "  causes: warm={} joined-warming={} fresh-spawn={}",
-        by_cause[0], by_cause[1], by_cause[2]
+        "  causes: warm={} joined-warming={} fresh-spawn={} evicted={} \
+         saturated={}",
+        by_cause[0], by_cause[1], by_cause[2], by_cause[3], by_cause[4]
     );
     out
 }
@@ -360,6 +404,10 @@ mod tests {
             ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":5000000,\"dur\":3308000,\"cat\":\"span\",\"name\":\"inv-3\",\"args\":{\"index\":3,\"queue_wait_ms\":0,\"cold_wait_ms\":808,\"exec_ms\":2500,\"cause\":2,\"pod\":7}}",
             ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":9000000,\"dur\":400000,\"cat\":\"span\",\"name\":\"inv-5\",\"args\":{\"index\":5,\"queue_wait_ms\":0,\"cold_wait_ms\":0,\"exec_ms\":400,\"cause\":0,\"warm_min_scale\":1,\"warm_reactive\":2,\"warm_proactive\":0}}",
             ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":9100000,\"dur\":900000,\"cat\":\"span\",\"name\":\"inv-6\",\"args\":{\"index\":6,\"queue_wait_ms\":500,\"cold_wait_ms\":0,\"exec_ms\":400,\"cause\":1,\"pod\":9,\"pod_origin\":1,\"pod_spawned_ms\":8800}}",
+            ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":9500000,\"s\":\"t\",\"cat\":\"fault\",\"name\":\"node-crash\",\"args\":{\"node\":1,\"pods\":2}}",
+            ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":9600000,\"dur\":1208000,\"cat\":\"span\",\"name\":\"inv-7\",\"args\":{\"index\":7,\"queue_wait_ms\":0,\"cold_wait_ms\":808,\"exec_ms\":400,\"cause\":3,\"node\":0,\"victim_pod\":4}}",
+            ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":9700000,\"dur\":1208000,\"cat\":\"span\",\"name\":\"inv-8\",\"args\":{\"index\":8,\"queue_wait_ms\":0,\"cold_wait_ms\":808,\"exec_ms\":400,\"cause\":4}}",
+            ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":9800000,\"dur\":700000,\"cat\":\"span\",\"name\":\"inv-9\",\"args\":{\"index\":9,\"queue_wait_ms\":300,\"cold_wait_ms\":0,\"exec_ms\":400,\"cause\":1,\"pod\":11,\"pod_origin\":3,\"pod_spawned_ms\":9500}}",
             "\n]}",
         ]
         .join("")
@@ -368,7 +416,7 @@ mod tests {
     #[test]
     fn parses_spans_with_track_and_app() {
         let rows = parse_spans(&sample_trace()).unwrap();
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 6);
         assert_eq!(rows[0].app, Some(42));
         assert_eq!(rows[0].track, "sim/fleet-00/app-00042");
         assert_eq!(rows[0].index, 3);
@@ -402,15 +450,41 @@ mod tests {
     }
 
     #[test]
+    fn explain_tells_the_cluster_pressure_stories() {
+        let rows = parse_spans(&sample_trace()).unwrap();
+        let evicted = explain(&rows[3]);
+        assert!(evicted.contains("evicted idle warm pod 4 from node 0"));
+        assert!(evicted.contains("full cold start"));
+        let saturated = explain(&rows[4]);
+        assert!(saturated.contains("no evictable victim"));
+        assert!(saturated.contains("overcommitted"));
+        assert!(saturated.contains("no pod"));
+    }
+
+    #[test]
+    fn explain_narrates_the_node_crash_restart_chain() {
+        let rows = parse_spans(&sample_trace()).unwrap();
+        let restarted = explain(&rows[5]);
+        assert!(restarted.contains("queued on warming pod 11"));
+        assert!(restarted
+            .contains("restarted at t=9500 ms after its node crashed"));
+    }
+
+    #[test]
     fn list_filters_by_app_and_breakdown_totals() {
         let rows = parse_spans(&sample_trace()).unwrap();
-        assert_eq!(list(&rows, Some(42)).lines().count(), 3);
+        assert_eq!(list(&rows, Some(42)).lines().count(), 6);
         assert_eq!(list(&rows, Some(43)).lines().count(), 0);
+        let listed = list(&rows, None);
+        assert!(listed.contains("cause=evicted"));
+        assert!(listed.contains("cause=saturated"));
         let b = breakdown(&rows);
-        assert!(b.contains("sampled spans: 3"));
-        assert!(b.contains("queue wait total: 500 ms"));
-        assert!(b.contains("cold wait total:  808 ms"));
-        assert!(b.contains("warm=1 joined-warming=1 fresh-spawn=1"));
+        assert!(b.contains("sampled spans: 6"));
+        assert!(b.contains("queue wait total: 800 ms"));
+        assert!(b.contains("cold wait total:  2424 ms"));
+        assert!(b.contains(
+            "warm=1 joined-warming=2 fresh-spawn=1 evicted=1 saturated=1"
+        ));
     }
 
     #[test]

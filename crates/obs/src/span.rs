@@ -117,6 +117,12 @@ pub enum PodOrigin {
         /// Virtual spawn time, ms.
         at_ms: u64,
     },
+    /// Respawned at `at_ms` on a surviving node after its previous
+    /// incarnation was displaced by a node crash.
+    Restarted {
+        /// Virtual respawn time, ms.
+        at_ms: u64,
+    },
 }
 
 impl PodOrigin {
@@ -126,6 +132,7 @@ impl PodOrigin {
             PodOrigin::MinScale => 0,
             PodOrigin::Reactive { .. } => 1,
             PodOrigin::Proactive { .. } => 2,
+            PodOrigin::Restarted { .. } => 3,
         }
     }
 }
@@ -144,6 +151,8 @@ pub enum WaitCause {
         reactive: u64,
         /// Warm pods spawned proactively by the policy.
         proactive: u64,
+        /// Warm pods respawned after a node crash displaced them.
+        restarted: u64,
     },
     /// Queued on a pod that was already warming: the wait is the
     /// remainder of a cold start some *earlier* decision started.
@@ -161,16 +170,31 @@ pub enum WaitCause {
         /// The pod spawned on behalf of this arrival.
         pod_uid: u64,
     },
+    /// The cluster had no room: admission evicted an idle warm pod
+    /// (`victim_pod`, resident on `node`) to make space, and this
+    /// invocation paid a full cold start on the replacement.
+    Evicted {
+        /// Node the victim was reclaimed from (and the replacement
+        /// placed on).
+        node: u64,
+        /// The warm pod sacrificed to memory pressure.
+        victim_pod: u64,
+    },
+    /// The cluster had no room *and* no evictable victim: the request
+    /// ran overcommitted, paying a full cold start with no pod created.
+    Saturated,
 }
 
 impl WaitCause {
     /// Stable numeric code for trace-event args: 0 warm, 1 join,
-    /// 2 fresh spawn.
+    /// 2 fresh spawn, 3 eviction, 4 saturated overcommit.
     pub fn code(&self) -> u64 {
         match self {
             WaitCause::Warm { .. } => 0,
             WaitCause::JoinedWarmingPod { .. } => 1,
             WaitCause::FreshSpawn { .. } => 2,
+            WaitCause::Evicted { .. } => 3,
+            WaitCause::Saturated => 4,
         }
     }
 }

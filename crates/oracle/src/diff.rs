@@ -145,6 +145,16 @@ pub fn compare_results(
             oracle.initial_pods,
         ));
     }
+    // Cluster observables (per-node occupancy integrals and the full
+    // placement/eviction/crash ledger) are compared exactly like every
+    // other f64: bit-for-bit.
+    if engine.cluster != oracle.cluster {
+        return Some(scalar(
+            "cluster",
+            &engine.cluster,
+            &oracle.cluster,
+        ));
+    }
     series(
         "avg_concurrency",
         &engine.avg_concurrency,

@@ -39,7 +39,10 @@ use femux_obs::span::{
     InvocationSpan, PodOrigin, SpanSampler, WaitCause,
 };
 use femux_rum::CostRecord;
-use femux_sim::{PolicyCtx, ScalingPolicy, SimConfig, SimResult};
+use femux_sim::{
+    Cluster, PodRequest, PolicyCtx, ReleaseReason, ScalingPolicy,
+    SimConfig, SimResult,
+};
 use femux_trace::types::AppRecord;
 
 /// Reference pod state; mirrors the engine's pod fields one-to-one.
@@ -92,16 +95,38 @@ pub fn reference_simulate(
     let mem_gb = app.mem_used_mb as f64 / 1_024.0;
     let interval = cfg.interval_ms;
 
-    let mut pods: Vec<RefPod> = (0..min_scale)
-        .map(|uid| RefPod {
-            uid: uid as u64,
+    // Cluster layer, re-derived independently: same placement policy,
+    // same uid stream, but driven by the per-ms loop. The occupancy
+    // integral accrues one millisecond at a time (step 6), so exactness
+    // is trivial here and the engine's segment-based accrual is the
+    // thing under test.
+    let mut cluster = cfg.cluster.as_ref().map(|cc| {
+        Cluster::new(
+            cc,
+            PodRequest {
+                cpu_milli: app.config.cpu_milli as u64,
+                mem_mb: app.mem_used_mb as u64,
+            },
+        )
+    });
+    let mut pods: Vec<RefPod> = Vec::with_capacity(min_scale);
+    for uid in 0..min_scale as u64 {
+        if let Some(cl) = cluster.as_mut() {
+            if cl.try_place(uid).is_none() {
+                cl.placement_denials += 1;
+                continue;
+            }
+        }
+        pods.push(RefPod {
+            uid,
             origin: PodOrigin::MinScale,
             warm_at: 0,
             keep_until: 0,
             queued: 0,
             joinable: false,
-        })
-        .collect();
+        });
+    }
+    let placed_initial = pods.len();
     let mut next_uid = min_scale as u64;
     // In-flight completion times (queued + executing), unsorted.
     let mut inflight: Vec<u64> = Vec::new();
@@ -199,6 +224,7 @@ pub fn reference_simulate(
                 &mut spawn_minute,
                 &mut spawns_this_minute,
                 &mut next_uid,
+                cluster.as_mut(),
             );
             pod_counts.push(pods.len());
             next_tick += interval;
@@ -267,21 +293,79 @@ pub fn reference_simulate(
                 costs.cold_start_seconds += wait as f64 / 1_000.0;
                 wait
             } else {
-                // Spawn a fresh pod for the full cold start.
-                let end = t + cold_ms + dur;
-                let uid = next_uid;
-                next_uid += 1;
-                pods.push(RefPod {
-                    uid,
-                    origin: PodOrigin::Reactive { at_ms: t },
-                    warm_at: t + cold_ms,
-                    keep_until: interval_end.max(end),
-                    queued: 1,
-                    joinable: true,
-                });
-                if sampled {
-                    cause =
-                        Some(WaitCause::FreshSpawn { pod_uid: uid });
+                // Cluster room for the spawn: direct placement, else
+                // eviction of the minimum-`(warm_at, uid)` warm
+                // (`warm_at <= t`) unprotected (`keep_until <= t`)
+                // pod, else saturation — full cold penalty, no pod —
+                // mirroring the engine's `place_reactive` exactly.
+                let mut evicted: Option<(u64, usize)> = None;
+                let mut saturated = false;
+                if let Some(cl) = cluster.as_mut() {
+                    if cl.try_place(next_uid).is_none() {
+                        let mut victim: Option<(u64, u64, usize)> = None;
+                        for (i, p) in pods.iter().enumerate() {
+                            if p.warm_at <= t && p.keep_until <= t {
+                                let key = (p.warm_at, p.uid);
+                                if victim
+                                    .is_none_or(|(w, u, _)| key < (w, u))
+                                {
+                                    victim =
+                                        Some((p.warm_at, p.uid, i));
+                                }
+                            }
+                        }
+                        match victim {
+                            None => {
+                                cl.saturated_overcommits += 1;
+                                saturated = true;
+                            }
+                            Some((_, victim_uid, victim_idx)) => {
+                                let node = cl.release(
+                                    victim_uid,
+                                    ReleaseReason::Evicted,
+                                );
+                                pods.remove(victim_idx);
+                                let placed = cl.try_place(next_uid);
+                                debug_assert_eq!(
+                                    placed,
+                                    Some(node),
+                                    "eviction frees the victim's node"
+                                );
+                                evicted = Some((victim_uid, node));
+                            }
+                        }
+                    }
+                }
+                if saturated {
+                    if sampled {
+                        cause = Some(WaitCause::Saturated);
+                    }
+                } else {
+                    // Spawn a fresh pod for the full cold start.
+                    let end = t + cold_ms + dur;
+                    let uid = next_uid;
+                    next_uid += 1;
+                    pods.push(RefPod {
+                        uid,
+                        origin: PodOrigin::Reactive { at_ms: t },
+                        warm_at: t + cold_ms,
+                        keep_until: interval_end.max(end),
+                        queued: 1,
+                        joinable: true,
+                    });
+                    if sampled {
+                        cause = Some(match evicted {
+                            Some((victim_pod, node)) => {
+                                WaitCause::Evicted {
+                                    node: node as u64,
+                                    victim_pod,
+                                }
+                            }
+                            None => {
+                                WaitCause::FreshSpawn { pod_uid: uid }
+                            }
+                        });
+                    }
                 }
                 costs.cold_starts += 1;
                 costs.cold_start_seconds += cold_ms as f64 / 1_000.0;
@@ -304,7 +388,9 @@ pub fn reference_simulate(
                 let (queue_wait_ms, cold_wait_ms) = match cause {
                     WaitCause::Warm { .. } => (0, 0),
                     WaitCause::JoinedWarmingPod { .. } => (delay_ms, 0),
-                    WaitCause::FreshSpawn { .. } => (0, delay_ms),
+                    WaitCause::FreshSpawn { .. }
+                    | WaitCause::Evicted { .. }
+                    | WaitCause::Saturated => (0, delay_ms),
                 };
                 spans.push(InvocationSpan {
                     app: app_id,
@@ -325,9 +411,14 @@ pub fn reference_simulate(
             break;
         }
 
-        // 6. Accrue the [t, t+1) millisecond.
+        // 6. Accrue the [t, t+1) millisecond. The cluster ledger
+        //    advances in lockstep: residency changes happened at t, so
+        //    this accrues the post-change occupancy over [t, t+1).
         conc_ms += inflight.len() as u64;
         pod_ms += pods.len() as u64;
+        if let Some(cl) = cluster.as_mut() {
+            cl.advance(t + 1);
+        }
         t += 1;
     }
 
@@ -336,6 +427,14 @@ pub fn reference_simulate(
     let busy_pod_secs = costs.exec_seconds / concurrency as f64;
     costs.wasted_gb_seconds =
         (costs.allocated_gb_seconds - mem_gb * busy_pod_secs).max(0.0);
+    let cluster_outcome = cluster.map(|cl| {
+        debug_assert_eq!(
+            cl.total_pod_ms(),
+            pod_ms,
+            "per-node occupancy must sum to the alive-time integral"
+        );
+        cl.into_outcome(t)
+    });
     SimResult {
         costs,
         delays_secs: delays,
@@ -343,8 +442,9 @@ pub fn reference_simulate(
         peak_concurrency,
         arrivals,
         pod_counts,
-        initial_pods: min_scale,
+        initial_pods: placed_initial,
         faults: femux_fault::FaultStats::default(),
+        cluster: cluster_outcome,
         spans,
     }
 }
@@ -353,15 +453,20 @@ pub fn reference_simulate(
 /// [`WaitCause::Warm`]; mirrors the engine's sampled-warm-admission
 /// scan.
 fn warm_origin_mix(pods: &[RefPod], t: u64) -> WaitCause {
-    let (mut min_scale, mut reactive, mut proactive) = (0, 0, 0);
+    let (mut min_scale, mut reactive, mut proactive, mut restarted) =
+        (0, 0, 0, 0);
     for p in pods.iter().filter(|p| p.warm_at <= t) {
         match p.origin {
             PodOrigin::MinScale => min_scale += 1,
             PodOrigin::Reactive { .. } => reactive += 1,
             PodOrigin::Proactive { .. } => proactive += 1,
+            // Unreachable in the oracle (restarts require a node fault
+            // plan, and the oracle is fault-free), kept for exhaustive
+            // agreement with the engine's scan.
+            PodOrigin::Restarted { .. } => restarted += 1,
         }
     }
-    WaitCause::Warm { min_scale, reactive, proactive }
+    WaitCause::Warm { min_scale, reactive, proactive, restarted }
 }
 
 /// The soonest-warm joinable warming pod with spare per-pod
@@ -400,10 +505,19 @@ fn apply_target(
     spawn_minute: &mut u64,
     spawns_this_minute: &mut usize,
     next_uid: &mut u64,
+    mut cluster: Option<&mut Cluster>,
 ) {
     let current = pods.len();
     if target > current {
         for _ in current..target {
+            // Placement-denial check precedes the rate-limit check
+            // (denials never consume rate-limit slots).
+            if let Some(cl) = cluster.as_deref_mut() {
+                if !cl.can_place() {
+                    cl.placement_denials += 1;
+                    break;
+                }
+            }
             let allowed = match cfg.scale_limit {
                 None => true,
                 Some(limit) => {
@@ -429,6 +543,10 @@ fn apply_target(
             }
             let uid = *next_uid;
             *next_uid += 1;
+            if let Some(cl) = cluster.as_deref_mut() {
+                let placed = cl.try_place(uid);
+                debug_assert!(placed.is_some(), "can_place pre-checked");
+            }
             pods.push(RefPod {
                 uid,
                 origin: PodOrigin::Proactive { at_ms: t },
@@ -450,7 +568,13 @@ fn apply_target(
             pods.sort_by_key(|p| {
                 (std::cmp::Reverse(p.keep_until > t), p.warm_at)
             });
-            pods.truncate(floor.max(protected));
+            let keep = floor.max(protected);
+            if let Some(cl) = cluster {
+                for p in &pods[keep..] {
+                    cl.release(p.uid, ReleaseReason::ScaledDown);
+                }
+            }
+            pods.truncate(keep);
         }
     }
 }

@@ -26,6 +26,11 @@
 //! - **Rate-0 fault inertness** ([`check_rate0_inert`]): installing a
 //!   fault plan with every rate at zero is byte-identical to running
 //!   with no plan at all.
+//! - **Cluster ledger conservation** ([`check_cluster_accounting`]):
+//!   every placed pod is accounted for exactly once
+//!   (`placed = evicted + scaled_down + displaced + resident_end`) and
+//!   the per-node occupancy integrals sum to the engine's alive-pod
+//!   time (the quantity `allocated_gb_seconds` is billed from).
 
 use femux_sim::{
     simulate_app, FixedPolicy, ScalingPolicy, SimConfig, SimResult,
@@ -204,6 +209,15 @@ pub fn check_min_scale_floor(
     if !cfg.respect_min_scale {
         return Ok(());
     }
+    // Memory pressure is physical and overrides the floor: a cluster
+    // too small for the floor denies the initial placements, and
+    // eviction deliberately ignores the floor. The invariant only
+    // applies while the cluster never had to push back.
+    if let Some(cl) = &res.cluster {
+        if cl.placement_denials > 0 || cl.evictions > 0 {
+            return Ok(());
+        }
+    }
     let floor = app.config.min_scale as usize;
     if res.initial_pods != floor {
         return Err(format!(
@@ -222,6 +236,90 @@ pub fn check_min_scale_floor(
                 "scale event {ev:?} crosses the min-scale floor {floor}"
             ));
         }
+    }
+    Ok(())
+}
+
+/// Cluster ledger conservation plus occupancy-integral agreement with
+/// the billed allocation, for any result carrying a cluster outcome.
+pub fn check_cluster_accounting(
+    app: &AppRecord,
+    res: &SimResult,
+) -> Result<(), String> {
+    let Some(cl) = &res.cluster else {
+        return Ok(());
+    };
+    if !cl.conserved() {
+        return Err(format!(
+            "cluster ledger not conserved: placed {} != evicted {} + \
+             scaled_down {} + displaced {} + resident_end {}",
+            cl.placed,
+            cl.evictions,
+            cl.scaled_down,
+            cl.pods_displaced,
+            cl.resident_end
+        ));
+    }
+    let mem_gb = app.mem_used_mb as f64 / 1_024.0;
+    if mem_gb > 0.0 {
+        let alive_secs = res.costs.allocated_gb_seconds / mem_gb;
+        let occupancy_secs: f64 = cl.node_pod_seconds.iter().sum();
+        if (occupancy_secs - alive_secs).abs()
+            > EPS * alive_secs.abs() + EPS
+        {
+            return Err(format!(
+                "per-node occupancy sums to {occupancy_secs}s but the \
+                 engine billed {alive_secs}s of pod time"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// An infinite-capacity single-node cluster never denies, evicts, or
+/// saturates, so every non-cluster observable must be byte-identical
+/// to running with no cluster at all (the backward-compat gate for the
+/// cluster layer).
+pub fn check_unbounded_cluster_transparent(
+    app: &AppRecord,
+    span_ms: u64,
+    cfg: &SimConfig,
+    make_policy: &dyn Fn() -> Box<dyn ScalingPolicy>,
+) -> Result<(), String> {
+    assert!(
+        cfg.cluster.is_none(),
+        "pass the cluster-free configuration"
+    );
+    let base = simulate_app(app, make_policy().as_mut(), span_ms, cfg);
+    let mut clustered_cfg = cfg.clone();
+    clustered_cfg.cluster =
+        Some(femux_sim::ClusterConfig::unbounded());
+    let clustered = simulate_app(
+        app,
+        make_policy().as_mut(),
+        span_ms,
+        &clustered_cfg,
+    );
+    let Some(outcome) = &clustered.cluster else {
+        return Err(
+            "clustered run produced no cluster outcome".to_string()
+        );
+    };
+    if outcome.evictions != 0
+        || outcome.saturated_overcommits != 0
+        || outcome.placement_denials != 0
+    {
+        return Err(format!(
+            "an unbounded node pushed back: {outcome:?}"
+        ));
+    }
+    let mut stripped = clustered.clone();
+    stripped.cluster = None;
+    if format!("{stripped:?}") != format!("{base:?}") {
+        return Err(
+            "an unbounded single-node cluster changed the simulation"
+                .to_string(),
+        );
     }
     Ok(())
 }

@@ -20,9 +20,9 @@ use crate::diff::{compare_results, Divergence};
 use crate::engine::reference_simulate;
 use crate::invariants;
 use femux_sim::{
-    simulate_app, simulate_app_tickwise, FixedPolicy, ForecastPolicy,
-    KeepAlivePolicy, KnativeDefaultPolicy, ScalingPolicy, SimConfig,
-    SimResult, ZeroPolicy,
+    simulate_app, simulate_app_tickwise, ClusterConfig, FixedPolicy,
+    ForecastPolicy, KeepAlivePolicy, KnativeDefaultPolicy, NodeConfig,
+    PlacementKind, ScalingPolicy, SimConfig, SimResult, ZeroPolicy,
 };
 use femux_stats::rng::Rng;
 use femux_trace::types::{
@@ -80,6 +80,65 @@ impl PolicyKind {
             PolicyKind::Forecast => "forecast-ma".to_string(),
             PolicyKind::Fixed(n) => format!("fixed-{n}"),
             PolicyKind::Zero => "zero".to_string(),
+        }
+    }
+}
+
+/// Cluster configurations swept alongside the free-floating default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterVariant {
+    /// No cluster layer: the historical free-floating pod accounting.
+    Free,
+    /// A single unbounded node: placement always succeeds, so every
+    /// non-cluster observable must stay byte-identical to [`Free`]
+    /// (the backward-compat gate).
+    ///
+    /// [`Free`]: ClusterVariant::Free
+    Unbounded,
+    /// Two small nodes under best-fit: bursty apps hit placement
+    /// denials, evictions, and saturated overcommits.
+    Tight,
+    /// The same two small nodes under round-robin placement.
+    TightRoundRobin,
+}
+
+impl ClusterVariant {
+    /// The variants that actually install a cluster.
+    pub const CLUSTERED: [ClusterVariant; 3] = [
+        ClusterVariant::Unbounded,
+        ClusterVariant::Tight,
+        ClusterVariant::TightRoundRobin,
+    ];
+
+    /// The [`SimConfig::cluster`] value for this variant.
+    pub fn config(self) -> Option<ClusterConfig> {
+        let tight = || NodeConfig {
+            cpu_milli: u64::MAX,
+            mem_mb: 600,
+        };
+        match self {
+            ClusterVariant::Free => None,
+            ClusterVariant::Unbounded => {
+                Some(ClusterConfig::unbounded())
+            }
+            ClusterVariant::Tight => {
+                Some(ClusterConfig::uniform(2, tight()))
+            }
+            ClusterVariant::TightRoundRobin => {
+                let mut cc = ClusterConfig::uniform(2, tight());
+                cc.placement = PlacementKind::RoundRobin;
+                Some(cc)
+            }
+        }
+    }
+
+    /// Stable label used in case names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterVariant::Free => "free",
+            ClusterVariant::Unbounded => "cluster-unbounded",
+            ClusterVariant::Tight => "cluster-tight",
+            ClusterVariant::TightRoundRobin => "cluster-tight-rr",
         }
     }
 }
@@ -237,7 +296,7 @@ impl SweepReport {
     }
 }
 
-fn sim_config(interval_ms: u64) -> SimConfig {
+fn sim_config(interval_ms: u64, cluster: ClusterVariant) -> SimConfig {
     SimConfig {
         interval_ms,
         record_delays: true,
@@ -250,6 +309,7 @@ fn sim_config(interval_ms: u64) -> SimConfig {
         spans: Some(femux_obs::span::SpanConfig::all(
             0x5EED ^ interval_ms,
         )),
+        cluster: cluster.config(),
         ..SimConfig::default()
     }
 }
@@ -270,8 +330,9 @@ fn diverges(
     policy: PolicyKind,
     interval_ms: u64,
     span_ms: u64,
+    cluster: ClusterVariant,
 ) -> Option<Divergence> {
-    let cfg = sim_config(interval_ms);
+    let cfg = sim_config(interval_ms, cluster);
     let engine =
         simulate_app(app, policy.build().as_mut(), span_ms, &cfg);
     let oracle =
@@ -297,9 +358,11 @@ fn shrink(
     interval_ms: u64,
     mut span_ms: u64,
     max_rounds: usize,
+    cluster: ClusterVariant,
 ) -> (AppRecord, u64, Divergence, usize) {
-    let mut divergence = diverges(&app, policy, interval_ms, span_ms)
-        .expect("shrink requires a divergent case");
+    let mut divergence =
+        diverges(&app, policy, interval_ms, span_ms, cluster)
+            .expect("shrink requires a divergent case");
     let mut rounds = 0;
 
     // Invocation-chunk removal, halving the chunk size each pass.
@@ -311,9 +374,9 @@ fn shrink(
             let mut candidate = app.clone();
             let hi = (i + chunk).min(candidate.invocations.len());
             candidate.invocations.drain(i..hi);
-            if let Some(d) =
-                diverges(&candidate, policy, interval_ms, span_ms)
-            {
+            if let Some(d) = diverges(
+                &candidate, policy, interval_ms, span_ms, cluster,
+            ) {
                 app = candidate;
                 divergence = d;
                 rounds += 1;
@@ -338,9 +401,9 @@ fn shrink(
             }
             let mut candidate = app.clone();
             candidate.invocations[j].duration_ms /= 2;
-            if let Some(d) =
-                diverges(&candidate, policy, interval_ms, span_ms)
-            {
+            if let Some(d) = diverges(
+                &candidate, policy, interval_ms, span_ms, cluster,
+            ) {
                 app = candidate;
                 divergence = d;
                 rounds += 1;
@@ -355,7 +418,8 @@ fn shrink(
     // Span halving, floored at one interval.
     while span_ms / 2 >= interval_ms && rounds < max_rounds {
         let candidate_span = span_ms / 2;
-        match diverges(&app, policy, interval_ms, candidate_span) {
+        match diverges(&app, policy, interval_ms, candidate_span, cluster)
+        {
             Some(d) => {
                 span_ms = candidate_span;
                 divergence = d;
@@ -521,16 +585,25 @@ struct Case {
     app: AppRecord,
     policy: PolicyKind,
     interval_ms: u64,
+    cluster: ClusterVariant,
 }
 
+#[allow(clippy::type_complexity)]
 struct CaseOutcome {
-    divergence: Option<(String, PolicyKind, u64, AppRecord, Divergence)>,
+    divergence: Option<(
+        String,
+        PolicyKind,
+        u64,
+        AppRecord,
+        ClusterVariant,
+        Divergence,
+    )>,
     invariant_failures: Vec<String>,
     invariant_checks: usize,
 }
 
 fn run_case(case: &Case, cfg: &SweepConfig) -> CaseOutcome {
-    let sim_cfg = sim_config(case.interval_ms);
+    let sim_cfg = sim_config(case.interval_ms, case.cluster);
     let span_ms = cfg.span_ms;
     let engine = simulate_app(
         &case.app,
@@ -551,6 +624,7 @@ fn run_case(case: &Case, cfg: &SweepConfig) -> CaseOutcome {
                 case.policy,
                 case.interval_ms,
                 case.app.clone(),
+                case.cluster,
                 d,
             )
         })
@@ -575,6 +649,7 @@ fn run_case(case: &Case, cfg: &SweepConfig) -> CaseOutcome {
                         case.policy,
                         case.interval_ms,
                         case.app.clone(),
+                        case.cluster,
                         d,
                     )
                 },
@@ -599,6 +674,11 @@ fn run_case(case: &Case, cfg: &SweepConfig) -> CaseOutcome {
     record(
         "min-scale-floor",
         invariants::check_min_scale_floor(&case.app, &engine, &sim_cfg),
+        &mut checks,
+    );
+    record(
+        "cluster-accounting",
+        invariants::check_cluster_accounting(&case.app, &engine),
         &mut checks,
     );
 
@@ -653,7 +733,19 @@ fn run_case(case: &Case, cfg: &SweepConfig) -> CaseOutcome {
                 &mut checks,
             );
         }
-        PolicyKind::Fixed(_) => {}
+        PolicyKind::Fixed(_) => {
+            // Backward-compat gate: an infinite-capacity single-node
+            // cluster must be observationally transparent.
+            if case.cluster == ClusterVariant::Free {
+                record(
+                    "unbounded-cluster-transparent",
+                    invariants::check_unbounded_cluster_transparent(
+                        &case.app, span_ms, &sim_cfg, &make,
+                    ),
+                    &mut checks,
+                );
+            }
+        }
     }
 
     CaseOutcome {
@@ -708,6 +800,39 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
                     app: app.clone(),
                     policy,
                     interval_ms,
+                    cluster: ClusterVariant::Free,
+                });
+            }
+        }
+    }
+
+    // Cluster variants ride on the adversarial + fuzz apps (the ones
+    // that exercise bursts, floors, and span edges — exactly what
+    // placement, eviction, and saturation react to), under three
+    // policies at the primary interval. Three-way exact agreement is
+    // checked for these cases like any other.
+    let cluster_policies = [
+        PolicyKind::KeepAlive,
+        PolicyKind::KnativeDefault,
+        PolicyKind::Fixed(2),
+    ];
+    let primary_interval = cfg.intervals[0];
+    for (label, app) in apps.iter().filter(|(l, _)| {
+        l.starts_with("adversarial/") || l.starts_with("fuzz/")
+    }) {
+        for &cluster in &ClusterVariant::CLUSTERED {
+            for &policy in &cluster_policies {
+                cases.push(Case {
+                    label: format!(
+                        "{label}/{}/{}ms/{}",
+                        policy.label(),
+                        primary_interval,
+                        cluster.label()
+                    ),
+                    app: app.clone(),
+                    policy,
+                    interval_ms: primary_interval,
+                    cluster,
                 });
             }
         }
@@ -730,7 +855,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
         report
             .invariant_failures
             .extend(outcome.invariant_failures);
-        if let Some((label, policy, interval_ms, app, _)) =
+        if let Some((label, policy, interval_ms, app, cluster, _)) =
             outcome.divergence
         {
             let (app, span_ms, divergence, shrink_rounds) = shrink(
@@ -739,6 +864,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
                 interval_ms,
                 cfg.span_ms,
                 cfg.max_shrink_rounds,
+                cluster,
             );
             report.counterexamples.push(Counterexample {
                 seed: cfg.seed,

@@ -1,0 +1,185 @@
+//! Tier-1 contract tests for the cluster fault domain:
+//!
+//! 1. **Thread invariance** — a seeded IBM fleet on a memory-tight
+//!    cluster with node crashes enabled produces identical per-app
+//!    results (costs, delay vectors, spans, and the full cluster
+//!    ledger) at 1 worker and at 8 workers, and the run actually
+//!    exercises eviction, node crashes, and backoff restarts.
+//! 2. **Zero node-crash rate ≡ no fault layer** — a fault plan with
+//!    every rate zero installed next to a finite cluster is
+//!    indistinguishable from running the same cluster with no fault
+//!    plan at all: the node-crash draws happen but never perturb the
+//!    run.
+//! 3. **Backward compat** — a single unbounded node is bit-exact with
+//!    the historical free-floating accounting (`cluster: None`) on
+//!    every pre-cluster observable, and its ledger shows zero
+//!    evictions, overcommits, and denials.
+
+use std::sync::Mutex;
+
+use femux_fault::FaultConfig;
+use femux_obs::span::SpanConfig;
+use femux_sim::{
+    run_fleet_detailed, ClusterConfig, KnativeDefaultPolicy, NodeConfig,
+    SimConfig, SimResult,
+};
+use femux_trace::synth::ibm::{generate, IbmFleetConfig};
+
+/// One test instruments the process-global obs collector; the others
+/// run engines that would emit into it while enabled. Serialize the
+/// whole file so the captured telemetry stays deterministic.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Two nodes of ~2 typical pods each: enough room that fleets make
+/// progress, tight enough that bursty apps hit eviction and
+/// saturation.
+fn tight_cluster() -> ClusterConfig {
+    ClusterConfig::uniform(
+        2,
+        NodeConfig {
+            cpu_milli: u64::MAX,
+            mem_mb: 400,
+        },
+    )
+}
+
+fn cluster_cfg(
+    cluster: Option<ClusterConfig>,
+    faults: Option<FaultConfig>,
+) -> SimConfig {
+    SimConfig {
+        record_delays: true,
+        spans: Some(SpanConfig { rate: 1.0, seed: 0x5EED }),
+        cluster,
+        faults,
+        ..SimConfig::default()
+    }
+}
+
+fn run_fleet(cfg: &SimConfig, threads: usize) -> Vec<SimResult> {
+    // 40 apps over a day keep the file tier-1-fast while still firing
+    // dozens of node crashes and evictions at the rates below.
+    let trace = generate(&IbmFleetConfig {
+        n_apps: 40,
+        span_days: 1,
+        ..IbmFleetConfig::small(31)
+    });
+    let _guard = femux_par::override_threads(threads);
+    run_fleet_detailed(&trace, cfg, |_, _| Box::new(KnativeDefaultPolicy))
+}
+
+#[test]
+fn tight_cluster_with_node_crashes_is_thread_invariant() {
+    let _lock = OBS_LOCK.lock().expect("obs test lock");
+    let faults = FaultConfig {
+        node_crash_rate: 0.02,
+        node_recovery_ticks: 2,
+        ..FaultConfig::off(0xC1A5)
+    };
+    let cfg = SimConfig {
+        // Pin the track prefix: the run epoch is a per-process counter,
+        // so two successive runs would otherwise land on different
+        // lanes.
+        obs_track_prefix: Some("cluster-det".to_string()),
+        ..cluster_cfg(Some(tight_cluster()), Some(faults))
+    };
+
+    let capture = |threads: usize| {
+        femux_obs::set_enabled(true);
+        femux_obs::set_events(true);
+        drop(femux_obs::collect());
+        let results = run_fleet(&cfg, threads);
+        let report = femux_obs::collect();
+        femux_obs::set_enabled(false);
+        femux_obs::set_events(false);
+        (results, report.metrics_json(), report.chrome_trace_json())
+    };
+
+    let (res1, metrics1, trace1) = capture(1);
+    let (res8, metrics8, trace8) = capture(8);
+    assert_eq!(
+        res1, res8,
+        "per-app results (incl. cluster ledger) must not depend on the \
+         worker count"
+    );
+    assert_eq!(metrics1, metrics8, "metrics JSON must be byte-identical");
+    assert_eq!(trace1, trace8, "Chrome trace must be byte-identical");
+
+    // The cluster layer's new flow stages (node-crash anchors with
+    // pod-restart steps) and instants pass the validator round-trip.
+    let summary = femux_obs::validate::validate_chrome_trace(&trace1)
+        .expect("cluster-instrumented trace validates");
+    assert!(summary.flows > 0, "fleet run must emit flow events");
+    for stage in ["\"node-crash\"", "\"pod-restart\"", "\"pod-evict\""] {
+        assert!(
+            trace1.contains(stage),
+            "trace must record {stage} events"
+        );
+    }
+
+    // The fleet must actually exercise every cluster code path, or the
+    // invariance above is vacuous.
+    let ledger = |f: fn(&femux_sim::ClusterOutcome) -> u64| -> u64 {
+        res1.iter()
+            .filter_map(|r| r.cluster.as_ref())
+            .map(f)
+            .sum()
+    };
+    assert!(ledger(|c| c.evictions) > 0, "no eviction exercised");
+    assert!(ledger(|c| c.node_crashes) > 0, "no node crash exercised");
+    assert!(ledger(|c| c.node_restarts) > 0, "no restart exercised");
+    assert!(
+        ledger(|c| c.pods_displaced) > 0,
+        "no displacement exercised"
+    );
+    // Plan-vs-telemetry accounting: the engine's fault stats and the
+    // cluster ledger describe the same injections.
+    let stat_crashes: u64 =
+        res1.iter().map(|r| r.faults.node_crashes).sum();
+    assert_eq!(
+        stat_crashes,
+        ledger(|c| c.node_crashes),
+        "fault stats and cluster ledger disagree on crash count"
+    );
+}
+
+#[test]
+fn zero_rate_fault_plan_is_inert_next_to_a_cluster() {
+    let _lock = OBS_LOCK.lock().expect("obs test lock");
+    let with_plan =
+        cluster_cfg(Some(tight_cluster()), Some(FaultConfig::off(0xFA17)));
+    let without = cluster_cfg(Some(tight_cluster()), None);
+    let a = run_fleet(&with_plan, 4);
+    let b = run_fleet(&without, 4);
+    assert_eq!(
+        a, b,
+        "a zero-rate node fault layer must be indistinguishable from \
+         no fault layer"
+    );
+}
+
+#[test]
+fn unbounded_single_node_is_bit_exact_with_cluster_none() {
+    let _lock = OBS_LOCK.lock().expect("obs test lock");
+    let clustered =
+        cluster_cfg(Some(ClusterConfig::unbounded()), None);
+    let free = cluster_cfg(None, None);
+    let mut a = run_fleet(&clustered, 4);
+    let b = run_fleet(&free, 4);
+    for res in &a {
+        let c = res.cluster.as_ref().expect("clustered run has ledger");
+        assert_eq!(c.evictions, 0, "unbounded node must never evict");
+        assert_eq!(c.saturated_overcommits, 0);
+        assert_eq!(c.placement_denials, 0);
+        assert!(c.conserved(), "placement ledger must balance");
+    }
+    // Strip the (necessarily present) ledger; everything else must be
+    // bit-identical to the pre-cluster accounting.
+    for res in &mut a {
+        res.cluster = None;
+    }
+    assert_eq!(
+        a, b,
+        "one unbounded node must reproduce free-floating results"
+    );
+}

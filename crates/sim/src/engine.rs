@@ -61,7 +61,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
-use femux_fault::{ActuationFate, AppFaults, FaultStats};
+use femux_fault::{ActuationFate, AppFaults, FaultStats, NodeFaults};
 use femux_obs::span::{
     InvocationSpan, PodOrigin, SpanGuard, SpanSampler, WaitCause,
 };
@@ -69,7 +69,19 @@ use femux_obs::FlowPhase;
 use femux_rum::CostRecord;
 use femux_trace::types::{AppRecord, Invocation};
 
+use crate::cluster::{Cluster, ClusterOutcome, PodRequest, ReleaseReason};
 use crate::policy::{IdleTicks, PolicyCtx, ScalingPolicy};
+
+/// Backoff cap for displaced-pod rescheduling after a node crash: the
+/// retry penalty is `2^strikes − 1` ticks, clamped at this exponent
+/// (mirroring the AppManager's forecast-failure backoff idiom).
+const MAX_RESTART_STRIKE_EXPONENT: u32 = 6;
+
+/// Flow-id namespace for node-crash causal chains: XORed with the
+/// running node-crash ordinal so every crash episode gets a distinct
+/// flow, and displaced-pod restarts `Step` on the crash that displaced
+/// them.
+const NODE_CRASH_FLOW_BASE: u64 = 0x4E0D_ECAF_0000_0000;
 
 /// AWS-style scale-out rate limit (§5.1: 500 new instances per minute
 /// once above 3,000).
@@ -120,6 +132,13 @@ pub struct SimConfig {
     /// output. The bench layer's `--span-sample` flag injects this via
     /// the fleet runners (see `femux_obs::span::ambient`).
     pub spans: Option<femux_obs::span::SpanConfig>,
+    /// Optional cluster model: pods occupy finite per-node core/memory
+    /// capacity, admission evicts idle warm pods under memory pressure,
+    /// and (with a fault plan installed) whole nodes crash and recover.
+    /// `None` keeps the historical free-floating accounting — and a
+    /// single unbounded node ([`crate::cluster::ClusterConfig::unbounded`])
+    /// is bit-identical to `None` on every pre-cluster observable.
+    pub cluster: Option<crate::cluster::ClusterConfig>,
 }
 
 impl Default for SimConfig {
@@ -133,6 +152,7 @@ impl Default for SimConfig {
             obs_track_prefix: None,
             faults: None,
             spans: None,
+            cluster: None,
         }
     }
 }
@@ -173,6 +193,11 @@ pub struct SimResult {
     /// [`InvocationSpan::delay_secs`] equals the `delays_secs` entry at
     /// the span's invocation index bitwise.
     pub spans: Vec<InvocationSpan>,
+    /// Cluster observables (`None` unless [`SimConfig::cluster`] is
+    /// set): per-node occupancy integrals and the placement ledger,
+    /// whose conservation (`placed == evictions + scaled_down +
+    /// displaced + resident_end`) the oracle invariants check.
+    pub cluster: Option<ClusterOutcome>,
 }
 
 /// A scale-up or scale-down event reconstructed from the pod-count
@@ -270,6 +295,16 @@ struct Pod {
     origin: PodOrigin,
 }
 
+/// Outcome of cluster admission for one reactive spawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReactiveSlot {
+    /// Room found on `node`, after evicting `victim` if `Some`.
+    Placed { node: usize, victim: Option<u64> },
+    /// No room and no evictable warm pod: the request runs
+    /// overcommitted with no pod created.
+    Saturated,
+}
+
 /// Internal integrator state.
 struct Engine<'a> {
     cfg: &'a SimConfig,
@@ -330,6 +365,20 @@ struct Engine<'a> {
     sampler: Option<SpanSampler>,
     /// Lifecycle spans of the sampled invocations, in arrival order.
     spans: Vec<InvocationSpan>,
+    /// Per-app cluster state (`None` = free-floating pods, the
+    /// historical accounting).
+    cluster: Option<Cluster>,
+    /// Per-node crash streams (`None` unless both a fault plan and a
+    /// cluster are installed — node faults need nodes to crash).
+    node_faults: Option<NodeFaults>,
+    /// Pods displaced by node crashes still waiting to be respawned on
+    /// a surviving node.
+    displaced_pending: u64,
+    /// Consecutive respawn rounds that left displaced pods queued; the
+    /// retry penalty is `2^strikes − 1` ticks (capped).
+    restart_strikes: u32,
+    /// Earliest tick at which the next respawn round may run.
+    restart_due: u64,
 }
 
 /// Removes the entries of `pending` that are due at `t`, preserving
@@ -372,6 +421,12 @@ impl Engine<'_> {
         self.interval_conc_ms += self.inflight.len() as f64 * dt;
         self.alive_pod_ms += self.pods.len() as f64 * dt;
         self.last_t = t;
+        // Per-node residency is constant across the advance (completions
+        // never move pods), so one segment step integrates it exactly;
+        // sum(node_pod_ms) tracks alive_pod_ms by construction.
+        if let Some(cl) = self.cluster.as_mut() {
+            cl.advance(t);
+        }
     }
 
     /// Settles every pod-warm event at or before `t`: the pod's warm-up
@@ -473,8 +528,65 @@ impl Engine<'_> {
             }
             wait
         } else {
-            // Cold start: spawn a pod now; it is protected until the end
-            // of the current interval and until this request completes.
+            // Cold start: the cluster (when modeled) must find room
+            // before any pod exists — evicting the idle-longest warm
+            // pod under memory pressure, or, when saturated, admitting
+            // the request overcommitted with no pod at all. Placement
+            // resolves first so tickwise and the oracle mirror it
+            // branch-for-branch.
+            let mut evicted: Option<(u64, usize)> = None;
+            let mut saturated = false;
+            if self.cluster.is_some() {
+                match self.place_reactive(t, self.next_uid) {
+                    ReactiveSlot::Placed { node, victim } => {
+                        if let Some(v) = victim {
+                            evicted = Some((v, node));
+                        }
+                    }
+                    ReactiveSlot::Saturated => saturated = true,
+                }
+            }
+            if saturated {
+                // Saturated overcommit: the request still runs and pays
+                // a full — never straggled — cold start, but no pod is
+                // created (the straggler draw contract is one draw per
+                // pod *spawn*, and nothing spawned).
+                let cold = self.cold_ms as u64;
+                if sampled {
+                    cause = Some(WaitCause::Saturated);
+                }
+                self.costs.cold_starts += 1;
+                self.costs.cold_start_seconds += cold as f64 / 1_000.0;
+                femux_obs::counter_add("sim.cold_starts", 1);
+                femux_obs::observe("sim.cold_start_wait_ms", cold);
+                if let Some(track) = &self.track {
+                    femux_obs::span(
+                        track,
+                        "sim",
+                        "cold-start",
+                        t * 1_000,
+                        cold * 1_000,
+                        &[("wait_ms", cold)],
+                    );
+                }
+                self.inflight.push(Reverse(t + cold + dur));
+                self.interval_peak =
+                    self.interval_peak.max(self.inflight.len() as f64);
+                self.costs.invocations += 1;
+                femux_obs::counter_add("sim.invocations", 1);
+                self.costs.exec_seconds += dur as f64 / 1_000.0;
+                self.costs.service_seconds +=
+                    (cold + dur) as f64 / 1_000.0;
+                if self.cfg.record_delays {
+                    self.delays.push(cold as f64 / 1_000.0);
+                }
+                if let Some(cause) = cause {
+                    self.record_span(t, index, cold, dur, cause);
+                }
+                return;
+            }
+            // Spawn a pod now; it is protected until the end of the
+            // current interval and until this request completes.
             let mut cold = self.cold_ms as u64;
             // One straggler draw per cold-start pod spawn (fault
             // determinism contract): the request pays the inflated
@@ -522,7 +634,13 @@ impl Engine<'_> {
                 }
             }
             if sampled {
-                cause = Some(WaitCause::FreshSpawn { pod_uid: uid });
+                cause = Some(match evicted {
+                    Some((victim, node)) => WaitCause::Evicted {
+                        node: node as u64,
+                        victim_pod: victim,
+                    },
+                    None => WaitCause::FreshSpawn { pod_uid: uid },
+                });
                 if let Some(track) = &self.track {
                     femux_obs::flow(
                         track,
@@ -582,15 +700,106 @@ impl Engine<'_> {
     /// [`WaitCause::Warm`]. Only computed for sampled warm admissions —
     /// an O(pods) scan, deliberately kept off the unsampled hot path.
     fn warm_origin_mix(&self, t: u64) -> WaitCause {
-        let (mut min_scale, mut reactive, mut proactive) = (0, 0, 0);
+        let (mut min_scale, mut reactive, mut proactive, mut restarted) =
+            (0, 0, 0, 0);
         for p in self.pods.iter().filter(|p| p.warm_at <= t) {
             match p.origin {
                 PodOrigin::MinScale => min_scale += 1,
                 PodOrigin::Reactive { .. } => reactive += 1,
                 PodOrigin::Proactive { .. } => proactive += 1,
+                PodOrigin::Restarted { .. } => restarted += 1,
             }
         }
-        WaitCause::Warm { min_scale, reactive, proactive }
+        WaitCause::Warm { min_scale, reactive, proactive, restarted }
+    }
+
+    /// Finds cluster room for a reactive spawn with pod id `uid` at
+    /// time `t`: direct placement, else memory-pressure eviction of the
+    /// idle-longest unprotected warm pod (minimum `(warm_at, uid)`, the
+    /// `joinable` ordering extended to warm pods), else saturation.
+    /// Eviction deliberately ignores the min-scale floor: memory
+    /// pressure is physical, and the policy will re-request the floor
+    /// at the next tick.
+    fn place_reactive(&mut self, t: u64, uid: u64) -> ReactiveSlot {
+        if let Some(node) =
+            self.cluster.as_mut().expect("cluster layer on").try_place(uid)
+        {
+            return ReactiveSlot::Placed { node, victim: None };
+        }
+        // Victim scan: warm (`warm_at <= t`) and unprotected
+        // (`keep_until <= t`, so every admitted request has finished).
+        let mut victim: Option<(u64, u64, usize)> = None;
+        for (i, p) in self.pods.iter().enumerate() {
+            if p.warm_at <= t && p.keep_until <= t {
+                let key = (p.warm_at, p.uid);
+                if victim.is_none_or(|(w, u, _)| key < (w, u)) {
+                    victim = Some((p.warm_at, p.uid, i));
+                }
+            }
+        }
+        let Some((_, victim_uid, victim_idx)) = victim else {
+            let cl = self.cluster.as_mut().expect("cluster layer on");
+            cl.saturated_overcommits += 1;
+            femux_obs::counter_add("evict.saturated_overcommits", 1);
+            return ReactiveSlot::Saturated;
+        };
+        let cl = self.cluster.as_mut().expect("cluster layer on");
+        let node = cl.release(victim_uid, ReleaseReason::Evicted);
+        femux_obs::counter_add("evict.evictions", 1);
+        // The victim is warm (settled) so it sits in the warm count and
+        // nowhere else; its orphaned warm events (if any) are lazily
+        // skipped once the uid leaves `index_of`.
+        self.warm_pods -= 1;
+        self.pods.remove(victim_idx);
+        self.index_of.clear();
+        for (i, p) in self.pods.iter().enumerate() {
+            self.index_of.insert(p.uid, i);
+        }
+        if let Some(track) = &self.track {
+            femux_obs::instant(
+                track,
+                "cluster",
+                "pod-evict",
+                t * 1_000,
+                &[("node", node as u64), ("victim", victim_uid)],
+            );
+        }
+        // Pods are uniform-sized, so freeing the victim's slot is
+        // exactly enough room — and the only room, so placement must
+        // land on the victim's node.
+        let placed = self
+            .cluster
+            .as_mut()
+            .expect("cluster layer on")
+            .try_place(uid);
+        debug_assert_eq!(placed, Some(node), "eviction frees the victim's node");
+        ReactiveSlot::Placed { node, victim: Some(victim_uid) }
+    }
+
+    /// Tears the displaced pods out of the engine's pod bookkeeping
+    /// after a node crash (the cluster already released them). Admitted
+    /// in-flight work keeps its original completion time — the same
+    /// simplification the pod-level crash layer makes — but queued
+    /// joiners on still-warming pods are dropped from the waiting count
+    /// (they were already billed their delay at admission).
+    fn remove_displaced(&mut self, uids: &[u64], t: u64) {
+        for &uid in uids {
+            let idx = self.index_of[&uid];
+            let p = self.pods[idx];
+            if p.warm_at > t {
+                self.waiting -= p.queued;
+                self.joinable.remove(&(p.warm_at, p.uid));
+            } else {
+                self.warm_pods -= 1;
+            }
+        }
+        let dead: BTreeSet<u64> = uids.iter().copied().collect();
+        self.pods.retain(|p| !dead.contains(&p.uid));
+        self.index_of.clear();
+        for (i, p) in self.pods.iter().enumerate() {
+            self.index_of.insert(p.uid, i);
+        }
+        self.displaced_pending += uids.len() as u64;
     }
 
     /// Records the lifecycle of one sampled invocation: the span table
@@ -611,7 +820,9 @@ impl Engine<'_> {
         let (queue_wait_ms, cold_wait_ms) = match cause {
             WaitCause::Warm { .. } => (0, 0),
             WaitCause::JoinedWarmingPod { .. } => (delay_ms, 0),
-            WaitCause::FreshSpawn { .. } => (0, delay_ms),
+            WaitCause::FreshSpawn { .. }
+            | WaitCause::Evicted { .. }
+            | WaitCause::Saturated => (0, delay_ms),
         };
         self.spans.push(InvocationSpan {
             app: self.app_id,
@@ -639,16 +850,23 @@ impl Engine<'_> {
             span.arg("exec_ms", dur);
             span.arg("cause", cause.code());
             match cause {
-                WaitCause::Warm { min_scale, reactive, proactive } => {
+                WaitCause::Warm {
+                    min_scale,
+                    reactive,
+                    proactive,
+                    restarted,
+                } => {
                     span.arg("warm_min_scale", min_scale);
                     span.arg("warm_reactive", reactive);
                     span.arg("warm_proactive", proactive);
+                    span.arg("warm_restarted", restarted);
                 }
                 WaitCause::JoinedWarmingPod { pod_uid, origin } => {
                     span.arg("pod", pod_uid);
                     span.arg("pod_origin", origin.code());
                     if let PodOrigin::Reactive { at_ms }
-                    | PodOrigin::Proactive { at_ms } = origin
+                    | PodOrigin::Proactive { at_ms }
+                    | PodOrigin::Restarted { at_ms } = origin
                     {
                         span.arg("pod_spawned_ms", at_ms);
                     }
@@ -656,6 +874,11 @@ impl Engine<'_> {
                 WaitCause::FreshSpawn { pod_uid } => {
                     span.arg("pod", pod_uid);
                 }
+                WaitCause::Evicted { node, victim_pod } => {
+                    span.arg("node", node);
+                    span.arg("victim_pod", victim_pod);
+                }
+                WaitCause::Saturated => {}
             }
         }
     }
@@ -686,7 +909,8 @@ impl Engine<'_> {
         self.stats.ticks += 1;
         // Fault draw order is part of the determinism contract: per-pod
         // crash draws in pod-vector order, then the report-loss draw,
-        // then (after the policy decision) the actuation-fate draw.
+        // then the per-node crash draws in node order, then (after the
+        // policy decision) the actuation-fate draw.
         if let Some(mut faults) = self.faults.take() {
             let cold = self.cold_ms as u64;
             let mut crashed = 0u64;
@@ -754,6 +978,145 @@ impl Engine<'_> {
         self.interval_peak = self.inflight.len() as f64;
         self.interval_arrivals = 0.0;
 
+        // Node fault domain (cluster layer + fault plan only): recover
+        // matured nodes, then one crash draw per *up* node in node
+        // order — after the pod-level per-tick draws, before the
+        // actuation-fate draw (the `fault-draw-order` contract). A
+        // fired draw kills every resident pod at once; displaced pods
+        // respawn on surviving nodes under capped exponential backoff,
+        // degrading to queueing while the cluster stays saturated.
+        if self.node_faults.is_some() {
+            let mut nf = self.node_faults.take().expect("checked");
+            let mut cl =
+                self.cluster.take().expect("node faults imply a cluster");
+            cl.recover_due(t);
+            let recovery_ms =
+                nf.recovery_ticks() * self.cfg.interval_ms;
+            let mut displaced: Vec<u64> = Vec::new();
+            for node in 0..cl.nodes().len() {
+                if !cl.nodes()[node].up {
+                    continue;
+                }
+                if !nf.crash_node(node) {
+                    continue;
+                }
+                let victims = cl.crash_node(node, t + recovery_ms);
+                if let Some(track) = &self.track {
+                    femux_obs::instant(
+                        track,
+                        "fault",
+                        "node-crash",
+                        t * 1_000,
+                        &[
+                            ("node", node as u64),
+                            ("pods", victims.len() as u64),
+                        ],
+                    );
+                    // Causal anchor: later pod-restart flow steps bind
+                    // to the crash that displaced them.
+                    femux_obs::flow(
+                        track,
+                        "span",
+                        "node-crash",
+                        t * 1_000,
+                        FlowPhase::Start,
+                        femux_obs::span::flow_id(
+                            track,
+                            NODE_CRASH_FLOW_BASE ^ cl.node_crashes,
+                        ),
+                    );
+                }
+                displaced.extend(victims);
+            }
+            if !displaced.is_empty() {
+                let fresh = displaced.len() as u64;
+                self.remove_displaced(&displaced, t);
+                if self.displaced_pending == fresh {
+                    // First displacement of an episode: the first
+                    // respawn attempt runs at the next tick (zero
+                    // strikes, zero penalty).
+                    self.restart_due = t + self.cfg.interval_ms;
+                }
+            }
+            // Respawn round: place queued displaced pods (cold,
+            // non-joinable, new identity) on surviving nodes.
+            if self.displaced_pending > 0 && t >= self.restart_due {
+                let cold = self.cold_ms as u64;
+                let mut restarted = 0u64;
+                while self.displaced_pending > 0 {
+                    let uid = self.next_uid;
+                    if cl.try_place(uid).is_none() {
+                        break;
+                    }
+                    cl.node_restarts += 1;
+                    self.next_uid += 1;
+                    self.pods.push(Pod {
+                        uid,
+                        warm_at: t + cold,
+                        keep_until: t,
+                        queued: 0,
+                        joinable: false,
+                        warm_pending: cold > 0,
+                        origin: PodOrigin::Restarted { at_ms: t },
+                    });
+                    self.index_of.insert(uid, self.pods.len() - 1);
+                    if cold > 0 {
+                        self.warm_events.push(Reverse((t + cold, uid)));
+                    } else {
+                        self.warm_pods += 1;
+                    }
+                    self.displaced_pending -= 1;
+                    restarted += 1;
+                    if let Some(track) = &self.track {
+                        femux_obs::flow(
+                            track,
+                            "span",
+                            "pod-restart",
+                            t * 1_000,
+                            FlowPhase::Step,
+                            femux_obs::span::flow_id(
+                                track,
+                                NODE_CRASH_FLOW_BASE ^ cl.node_crashes,
+                            ),
+                        );
+                    }
+                }
+                if restarted > 0 {
+                    femux_obs::counter_add(
+                        "fault.node_restarts",
+                        restarted,
+                    );
+                    if let Some(track) = &self.track {
+                        femux_obs::instant(
+                            track,
+                            "cluster",
+                            "pod-restart",
+                            t * 1_000,
+                            &[
+                                ("pods", restarted),
+                                ("queued", self.displaced_pending),
+                            ],
+                        );
+                    }
+                }
+                if self.displaced_pending > 0 {
+                    let penalty = (1u64
+                        << self
+                            .restart_strikes
+                            .min(MAX_RESTART_STRIKE_EXPONENT))
+                        - 1;
+                    self.restart_strikes =
+                        self.restart_strikes.saturating_add(1);
+                    self.restart_due =
+                        t + (penalty + 1) * self.cfg.interval_ms;
+                } else {
+                    self.restart_strikes = 0;
+                }
+            }
+            self.cluster = Some(cl);
+            self.node_faults = Some(nf);
+        }
+
         // Apply actuations whose injected delay has matured — in
         // insertion order, before the policy observes the pod count.
         if !self.pending_actuation.is_empty() {
@@ -816,12 +1179,28 @@ impl Engine<'_> {
         if target > current {
             let cold = self.cold_ms as u64;
             for _ in current..target {
+                // Proactive spawns never evict: a placement denial is
+                // counted and the spawn is simply skipped, before the
+                // rate-limit check so a denial never consumes a
+                // rate-limit slot.
+                if self.cluster.as_ref().is_some_and(|cl| !cl.can_place()) {
+                    self.cluster
+                        .as_mut()
+                        .expect("checked")
+                        .placement_denials += 1;
+                    femux_obs::counter_add("evict.placement_denials", 1);
+                    break;
+                }
                 if !self.proactive_spawn_allowed(t) {
                     femux_obs::counter_add("sim.scale_limit_denials", 1);
                     break;
                 }
                 let uid = self.next_uid;
                 self.next_uid += 1;
+                if let Some(cl) = self.cluster.as_mut() {
+                    let placed = cl.try_place(uid);
+                    debug_assert!(placed.is_some(), "can_place pre-checked");
+                }
                 self.pods.push(Pod {
                     uid,
                     warm_at: t + cold,
@@ -889,6 +1268,9 @@ impl Engine<'_> {
                         self.joinable.remove(&(p.warm_at, p.uid));
                     } else {
                         self.warm_pods -= 1;
+                    }
+                    if let Some(cl) = self.cluster.as_mut() {
+                        cl.release(p.uid, ReleaseReason::ScaledDown);
                     }
                 }
                 self.pods.truncate(keep);
@@ -1057,6 +1439,12 @@ impl Engine<'_> {
                     * interval as f64
                     * (ticks - 1) as f64;
                 self.last_t = t + (ticks - 1) * interval;
+                // Keep the per-node occupancy integral in lockstep with
+                // the batched alive-time integral.
+                let lt = self.last_t;
+                if let Some(cl) = self.cluster.as_mut() {
+                    cl.advance(lt);
+                }
                 let len = self.pod_counts.len();
                 self.pod_counts
                     .resize(len + (ticks - 1) as usize, self.pods.len());
@@ -1103,23 +1491,58 @@ pub fn simulate_app_with_stats(
     } else {
         None
     };
+    // Cluster layer (optional): one private instance per app run, so
+    // per-app simulations stay order-independent. Pods are uniform
+    // within an app — every placement request carries the app's own
+    // cpu/memory demand.
+    let mut cluster = cfg.cluster.as_ref().map(|cc| {
+        Cluster::new(
+            cc,
+            PodRequest {
+                cpu_milli: app.config.cpu_milli as u64,
+                mem_mb: app.mem_used_mb as u64,
+            },
+        )
+    });
+    let node_faults = match (&cfg.faults, &cfg.cluster) {
+        (Some(f), Some(cc)) => Some(f.node_faults(cc.nodes.len())),
+        _ => None,
+    };
+    // Place the min-scale floor. Denied placements (cluster smaller
+    // than the floor) are counted and the pod simply never exists; uid
+    // assignment is unchanged so downstream identity is stable.
+    let mut initial_pods: Vec<Pod> = Vec::with_capacity(min_scale);
+    for uid in 0..min_scale as u64 {
+        if let Some(cl) = cluster.as_mut() {
+            if cl.try_place(uid).is_none() {
+                cl.placement_denials += 1;
+                femux_obs::counter_add("evict.placement_denials", 1);
+                continue;
+            }
+        }
+        initial_pods.push(Pod {
+            uid,
+            warm_at: 0,
+            keep_until: 0,
+            queued: 0,
+            joinable: false,
+            warm_pending: false,
+            origin: PodOrigin::MinScale,
+        });
+    }
+    let placed_initial = initial_pods.len();
+    let initial_index: BTreeMap<u64, usize> = initial_pods
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.uid, i))
+        .collect();
     let mut eng = Engine {
         cfg,
         track,
         concurrency: app.config.concurrency.max(1) as u64,
         cold_ms,
         min_scale,
-        pods: (0..min_scale)
-            .map(|uid| Pod {
-                uid: uid as u64,
-                warm_at: 0,
-                keep_until: 0,
-                queued: 0,
-                joinable: false,
-                warm_pending: false,
-                origin: PodOrigin::MinScale,
-            })
-            .collect(),
+        pods: initial_pods,
         inflight: BinaryHeap::new(),
         last_t: 0,
         alive_pod_ms: 0.0,
@@ -1135,13 +1558,18 @@ pub fn simulate_app_with_stats(
         spawn_minute: 0,
         spawns_this_minute: 0,
         faults: cfg.faults.as_ref().map(|f| f.engine_faults(app.id)),
+        cluster,
+        node_faults,
+        displaced_pending: 0,
+        restart_strikes: 0,
+        restart_due: 0,
         pending_actuation: Vec::new(),
         next_uid: min_scale as u64,
-        warm_pods: min_scale,
+        warm_pods: placed_initial,
         warm_events: BinaryHeap::new(),
         joinable: BTreeSet::new(),
         waiting: 0,
-        index_of: (0..min_scale).map(|i| (i as u64, i)).collect(),
+        index_of: initial_index,
         stats: EngineStats::default(),
         app_id: app.id.0 as u64,
         sampler: cfg
@@ -1232,6 +1660,22 @@ pub fn simulate_app_with_stats(
     eng.costs.wasted_gb_seconds =
         (eng.costs.allocated_gb_seconds - mem_gb * busy_pod_secs).max(0.0);
     let stats = eng.stats;
+    // Fold the cluster into its outcome: the per-node occupancy
+    // integral must agree exactly with the engine's alive-time
+    // integral (both are integer-valued sums of pod-count × ms).
+    let cluster_outcome = eng.cluster.take().map(|cl| {
+        debug_assert_eq!(
+            cl.total_pod_ms() as f64,
+            eng.alive_pod_ms,
+            "per-node occupancy must sum to the alive-time integral"
+        );
+        cl.into_outcome(last_end)
+    });
+    let mut fault_stats =
+        eng.faults.map(|f| f.stats).unwrap_or_default();
+    if let Some(nf) = eng.node_faults {
+        fault_stats.merge(&nf.stats);
+    }
     (
         SimResult {
             costs: eng.costs,
@@ -1240,11 +1684,9 @@ pub fn simulate_app_with_stats(
             peak_concurrency: eng.peak_concurrency,
             arrivals: eng.arrivals,
             pod_counts: eng.pod_counts,
-            initial_pods: min_scale,
-            faults: eng
-                .faults
-                .map(|f| f.stats)
-                .unwrap_or_default(),
+            initial_pods: placed_initial,
+            faults: fault_stats,
+            cluster: cluster_outcome,
             spans: eng.spans,
         },
         stats,
@@ -1805,5 +2247,222 @@ mod tests {
             simulate_app(&app, &mut ZeroPolicy, 60_000, &use_app_cs);
         assert!((res.costs.cold_start_seconds - 5.0).abs() < 1e-9);
         assert_eq!(res.delays_secs, vec![5.0]);
+    }
+
+    fn cluster_cfg(nodes: usize, mem_mb: u64) -> SimConfig {
+        SimConfig {
+            record_delays: true,
+            cluster: Some(crate::cluster::ClusterConfig::uniform(
+                nodes,
+                crate::cluster::NodeConfig {
+                    cpu_milli: u64::MAX,
+                    mem_mb,
+                },
+            )),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn unbounded_cluster_is_transparent() {
+        let invs: Vec<Invocation> =
+            (0..40).map(|k| inv(k * 4_000, 2_000)).collect();
+        let app = app_with(invs, 2, 1);
+        let free =
+            simulate_app(&app, &mut KnativeDefaultPolicy, 300_000, &cfg());
+        let clustered_cfg = SimConfig {
+            record_delays: true,
+            cluster: Some(crate::cluster::ClusterConfig::unbounded()),
+            ..SimConfig::default()
+        };
+        let clustered = simulate_app(
+            &app,
+            &mut KnativeDefaultPolicy,
+            300_000,
+            &clustered_cfg,
+        );
+        let outcome =
+            clustered.cluster.clone().expect("cluster outcome present");
+        assert_eq!(outcome.evictions, 0);
+        assert_eq!(outcome.saturated_overcommits, 0);
+        assert_eq!(outcome.placement_denials, 0);
+        // Per-node occupancy (one node) equals the billed alive time.
+        let alive_secs =
+            free.costs.allocated_gb_seconds / (1_024.0 / 1_024.0);
+        assert!(
+            (outcome.node_pod_seconds[0] - alive_secs).abs() < 1e-6,
+            "occupancy {} vs billed {}",
+            outcome.node_pod_seconds[0],
+            alive_secs
+        );
+        let mut stripped = clustered.clone();
+        stripped.cluster = None;
+        assert_eq!(format!("{stripped:?}"), format!("{free:?}"));
+    }
+
+    #[test]
+    fn memory_pressure_evicts_idle_longest_pod() {
+        // Node fits exactly two pods; the min-scale floor fills it.
+        // Two warm admissions saturate capacity, the third arrival
+        // must spawn — and the only room is an idle min-scale pod.
+        let mut app = app_with(
+            vec![inv(5_000, 60_000), inv(5_000, 60_000), inv(5_000, 60_000)],
+            1,
+            2,
+        );
+        app.mem_used_mb = 100;
+        let cfg = SimConfig {
+            spans: Some(femux_obs::span::SpanConfig::all(7)),
+            ..cluster_cfg(1, 250)
+        };
+        let res =
+            simulate_app(&app, &mut FixedPolicy(2), 120_000, &cfg);
+        let outcome = res.cluster.clone().expect("cluster outcome");
+        assert_eq!(outcome.evictions, 1);
+        assert_eq!(outcome.saturated_overcommits, 0);
+        assert_eq!(res.costs.cold_starts, 1);
+        // The victim is the idle-longest pod: min (warm_at, uid), the
+        // first min-scale pod (uid 0).
+        let evicted_span = res
+            .spans
+            .iter()
+            .find(|s| matches!(s.cause, WaitCause::Evicted { .. }))
+            .expect("eviction recorded as a span cause");
+        match evicted_span.cause {
+            WaitCause::Evicted { node, victim_pod } => {
+                assert_eq!(node, 0);
+                assert_eq!(victim_pod, 0);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(evicted_span.cold_wait_ms, 808);
+        assert!(outcome.conserved());
+    }
+
+    #[test]
+    fn saturated_cluster_overcommits_without_a_pod() {
+        // One node, one slot. The first request cold-starts onto it and
+        // keeps the pod protected; the second finds no room and no
+        // evictable victim, so it runs overcommitted at the full cold
+        // penalty and the ledger records no second placement.
+        let mut app =
+            app_with(vec![inv(5_000, 60_000), inv(6_000, 1_000)], 1, 0);
+        app.mem_used_mb = 100;
+        let cfg = SimConfig {
+            spans: Some(femux_obs::span::SpanConfig::all(9)),
+            ..cluster_cfg(1, 100)
+        };
+        let res = simulate_app(&app, &mut ZeroPolicy, 120_000, &cfg);
+        let outcome = res.cluster.clone().expect("cluster outcome");
+        assert_eq!(outcome.placed, 1);
+        assert_eq!(outcome.saturated_overcommits, 1);
+        assert_eq!(outcome.evictions, 0);
+        assert_eq!(res.costs.cold_starts, 2);
+        assert_eq!(res.delays_secs, vec![0.808, 0.808]);
+        assert!(res
+            .spans
+            .iter()
+            .any(|s| matches!(s.cause, WaitCause::Saturated)));
+        assert!(outcome.conserved());
+    }
+
+    #[test]
+    fn node_crash_displaces_pods_and_backs_off_while_down() {
+        // Two single-slot nodes hold the min-scale floor; a certain
+        // node-crash plan with a long recovery takes both down at the
+        // first tick. Nothing can restart while the cluster is dark, so
+        // the displaced pods stay queued under growing backoff.
+        let mut app = app_with(vec![], 1, 2);
+        app.mem_used_mb = 100;
+        let mut faults = femux_fault::FaultConfig::off(0xC1);
+        faults.node_crash_rate = 1.0;
+        faults.node_recovery_ticks = 1_000;
+        let cfg = SimConfig {
+            faults: Some(faults),
+            ..cluster_cfg(2, 100)
+        };
+        let res = simulate_app(&app, &mut FixedPolicy(2), 300_000, &cfg);
+        let outcome = res.cluster.clone().expect("cluster outcome");
+        // One crash per node, drawn in node order at the 60 s tick.
+        assert_eq!(outcome.node_crashes, 2);
+        assert_eq!(res.faults.node_crashes, 2);
+        assert_eq!(outcome.pods_displaced, 2);
+        assert_eq!(outcome.node_restarts, 0);
+        assert_eq!(outcome.resident_end, 0);
+        assert!(outcome.conserved());
+        // The engine's pod vector empties when the fleet is displaced
+        // (FixedPolicy keeps asking for 2, but placement is denied).
+        assert_eq!(*res.pod_counts.last().unwrap(), 0);
+        res.costs.check().expect("finite accounting under node loss");
+    }
+
+    #[test]
+    fn node_crash_restarts_displaced_pods_after_recovery() {
+        // One fragile node crashes once (rate 1.0 would re-crash on
+        // recovery, so use a one-tick recovery and watch the crash /
+        // recover / re-crash cycle: every recovery instantly re-crashes,
+        // but each crash-displaced pod is respawned whenever an up node
+        // exists at a respawn round). With recovery_ticks=1 the node is
+        // back up at the next tick, crashes again after the respawn
+        // ordering check -- so instead pin the cycle with 2 nodes where
+        // capacity survives: recovery brings nodes back and restarts
+        // land.
+        let mut app = app_with(vec![], 1, 2);
+        app.mem_used_mb = 100;
+        let mut faults = femux_fault::FaultConfig::off(0x9D);
+        faults.node_crash_rate = 0.25;
+        faults.node_recovery_ticks = 1;
+        let cfg = SimConfig {
+            faults: Some(faults),
+            ..cluster_cfg(2, 100)
+        };
+        let res =
+            simulate_app(&app, &mut FixedPolicy(2), 1_800_000, &cfg);
+        let outcome = res.cluster.clone().expect("cluster outcome");
+        assert!(outcome.node_crashes > 0, "plan should fire at 25%");
+        assert_eq!(res.faults.node_crashes, outcome.node_crashes);
+        assert!(outcome.node_restarts > 0, "restarts should land");
+        assert!(outcome.conserved());
+        // Determinism: the same seed replays the same history.
+        let mut faults2 = femux_fault::FaultConfig::off(0x9D);
+        faults2.node_crash_rate = 0.25;
+        faults2.node_recovery_ticks = 1;
+        let cfg2 = SimConfig {
+            faults: Some(faults2),
+            ..cluster_cfg(2, 100)
+        };
+        let res2 =
+            simulate_app(&app, &mut FixedPolicy(2), 1_800_000, &cfg2);
+        assert_eq!(format!("{res:?}"), format!("{res2:?}"));
+    }
+
+    #[test]
+    fn zero_node_crash_rate_matches_no_fault_layer() {
+        // A rate-0 plan over a clustered run must be byte-identical to
+        // the same clustered run with no fault layer at all, cluster
+        // ledger included.
+        let invs: Vec<Invocation> =
+            (0..30).map(|k| inv(k * 7_000, 2_500)).collect();
+        let mut app = app_with(invs, 1, 1);
+        app.mem_used_mb = 100;
+        let clean_cfg = cluster_cfg(2, 300);
+        let clean = simulate_app(
+            &app,
+            &mut KnativeDefaultPolicy,
+            300_000,
+            &clean_cfg,
+        );
+        let zeroed_cfg = SimConfig {
+            faults: Some(femux_fault::FaultConfig::off(0xFA17)),
+            ..cluster_cfg(2, 300)
+        };
+        let zeroed = simulate_app(
+            &app,
+            &mut KnativeDefaultPolicy,
+            300_000,
+            &zeroed_cfg,
+        );
+        assert_eq!(format!("{clean:?}"), format!("{zeroed:?}"));
+        assert_eq!(zeroed.faults, FaultStats::default());
     }
 }

@@ -13,18 +13,27 @@
 //!   policies — fixed keep-alive (1/5/10 min), Knative's default
 //!   reactive autoscaling, and a generic forecaster-driven policy.
 //! - [`fleet`]: running a policy factory over a whole trace.
+//! - [`cluster`]: an optional node model (finite core/memory capacity,
+//!   pluggable placement, memory-pressure eviction, node fault domains)
+//!   enabled via [`SimConfig::cluster`]; `None` keeps the historical
+//!   free-floating pod accounting bit-for-bit.
 //!
 //! Fault injection (pod crashes, cold-start stragglers, actuation
 //! delay/drop, report loss) is opt-in via [`SimConfig::faults`] and
 //! fully deterministic; see the `femux-fault` crate for the draw-order
 //! contract.
 
+pub mod cluster;
 pub mod engine;
 pub mod equiv;
 pub mod fleet;
 pub mod policy;
 pub mod tickwise;
 
+pub use cluster::{
+    BestFit, Cluster, ClusterConfig, ClusterOutcome, NodeConfig,
+    PlacementKind, PlacementPolicy, PodRequest, ReleaseReason, RoundRobin,
+};
 pub use engine::{
     simulate_app, simulate_app_with_stats, EngineStats, ScaleEvent,
     ScaleLimit, SimConfig, SimResult,

@@ -19,11 +19,13 @@ use std::collections::BinaryHeap;
 use femux_rum::CostRecord;
 use femux_trace::types::{AppRecord, Invocation};
 
+use crate::cluster::{Cluster, PodRequest, ReleaseReason};
 use crate::engine::{SimConfig, SimResult};
 use crate::policy::{PolicyCtx, ScalingPolicy};
 
 #[derive(Debug, Clone, Copy)]
 struct Pod {
+    uid: u64,
     warm_at: u64,
     keep_until: u64,
     queued: u64,
@@ -50,6 +52,12 @@ struct Engine<'a> {
     delays: Vec<f64>,
     spawn_minute: u64,
     spawns_this_minute: usize,
+    // The cluster layer is fault-free state, so the frozen twin mirrors
+    // it: uid assignment, placement, eviction, and occupancy follow the
+    // event engine's order exactly (node faults stay out — they require
+    // a fault plan, which this engine rejects).
+    cluster: Option<Cluster>,
+    next_uid: u64,
 }
 
 impl Engine<'_> {
@@ -70,6 +78,9 @@ impl Engine<'_> {
         self.interval_conc_ms += self.inflight.len() as f64 * dt;
         self.alive_pod_ms += self.pods.len() as f64 * dt;
         self.last_t = t;
+        if let Some(cl) = self.cluster.as_mut() {
+            cl.advance(t);
+        }
     }
 
     fn warm_capacity(&self, t: u64) -> u64 {
@@ -99,6 +110,52 @@ impl Engine<'_> {
         best
     }
 
+    /// Mirrors the event engine's reactive placement: try the cluster
+    /// directly, else evict the minimum-`(warm_at, uid)` warm
+    /// (`warm_at <= t`) unprotected (`keep_until <= t`) pod, else
+    /// report saturation. Returns whether a slot was found.
+    fn place_reactive(&mut self, t: u64) -> bool {
+        let uid = self.next_uid;
+        if self
+            .cluster
+            .as_mut()
+            .expect("cluster layer on")
+            .try_place(uid)
+            .is_some()
+        {
+            return true;
+        }
+        let mut victim: Option<(u64, u64, usize)> = None;
+        for (i, p) in self.pods.iter().enumerate() {
+            if p.warm_at <= t && p.keep_until <= t {
+                let key = (p.warm_at, p.uid);
+                if victim.is_none_or(|(w, u, _)| key < (w, u)) {
+                    victim = Some((p.warm_at, p.uid, i));
+                }
+            }
+        }
+        let Some((_, victim_uid, victim_idx)) = victim else {
+            self.cluster
+                .as_mut()
+                .expect("cluster layer on")
+                .saturated_overcommits += 1;
+            return false;
+        };
+        let node = self
+            .cluster
+            .as_mut()
+            .expect("cluster layer on")
+            .release(victim_uid, ReleaseReason::Evicted);
+        self.pods.remove(victim_idx);
+        let placed = self
+            .cluster
+            .as_mut()
+            .expect("cluster layer on")
+            .try_place(uid);
+        debug_assert_eq!(placed, Some(node), "eviction frees the victim's node");
+        true
+    }
+
     fn on_arrival(&mut self, inv: &Invocation, interval_end: u64) {
         let t = inv.start_ms;
         self.advance(t);
@@ -120,13 +177,25 @@ impl Engine<'_> {
             wait
         } else {
             let cold = self.cold_ms as u64;
-            let end = t + cold + dur;
-            self.pods.push(Pod {
-                warm_at: t + cold,
-                keep_until: interval_end.max(end),
-                queued: 1,
-                joinable: true,
-            });
+            // Cluster layer: the spawn needs a slot — direct placement,
+            // else eviction of the idle-longest unprotected warm pod,
+            // else saturation (full cold penalty and no pod), in the
+            // event engine's exact order.
+            let placed = match self.cluster {
+                Some(_) => self.place_reactive(t),
+                None => true,
+            };
+            if placed {
+                let end = t + cold + dur;
+                self.pods.push(Pod {
+                    uid: self.next_uid,
+                    warm_at: t + cold,
+                    keep_until: interval_end.max(end),
+                    queued: 1,
+                    joinable: true,
+                });
+                self.next_uid += 1;
+            }
             self.costs.cold_starts += 1;
             self.costs.cold_start_seconds += cold as f64 / 1_000.0;
             cold
@@ -200,10 +269,27 @@ impl Engine<'_> {
         if target > current {
             let cold = self.cold_ms as u64;
             for _ in current..target {
+                // Placement-denial check precedes the rate-limit check
+                // (denials never consume rate-limit slots), mirroring
+                // the event engine.
+                if self.cluster.as_ref().is_some_and(|cl| !cl.can_place()) {
+                    self.cluster
+                        .as_mut()
+                        .expect("checked")
+                        .placement_denials += 1;
+                    break;
+                }
                 if !self.proactive_spawn_allowed(t) {
                     break;
                 }
+                let uid = self.next_uid;
+                self.next_uid += 1;
+                if let Some(cl) = self.cluster.as_mut() {
+                    let placed = cl.try_place(uid);
+                    debug_assert!(placed.is_some(), "can_place pre-checked");
+                }
                 self.pods.push(Pod {
+                    uid,
                     warm_at: t + cold,
                     keep_until: t,
                     queued: 0,
@@ -228,7 +314,16 @@ impl Engine<'_> {
                 self.pods.sort_by_key(|p| {
                     (Reverse(p.keep_until > t), p.warm_at)
                 });
-                self.pods.truncate(floor.max(protected));
+                let keep = floor.max(protected);
+                for i in keep..self.pods.len() {
+                    if let Some(cl) = self.cluster.as_mut() {
+                        cl.release(
+                            self.pods[i].uid,
+                            ReleaseReason::ScaledDown,
+                        );
+                    }
+                }
+                self.pods.truncate(keep);
             }
         }
     }
@@ -257,19 +352,38 @@ pub fn simulate_app_tickwise(
         0
     };
     let mem_gb = app.mem_used_mb as f64 / 1_024.0;
+    let mut cluster = cfg.cluster.as_ref().map(|cc| {
+        Cluster::new(
+            cc,
+            PodRequest {
+                cpu_milli: app.config.cpu_milli as u64,
+                mem_mb: app.mem_used_mb as u64,
+            },
+        )
+    });
+    let mut initial_pods: Vec<Pod> = Vec::with_capacity(min_scale);
+    for uid in 0..min_scale as u64 {
+        if let Some(cl) = cluster.as_mut() {
+            if cl.try_place(uid).is_none() {
+                cl.placement_denials += 1;
+                continue;
+            }
+        }
+        initial_pods.push(Pod {
+            uid,
+            warm_at: 0,
+            keep_until: 0,
+            queued: 0,
+            joinable: false,
+        });
+    }
+    let placed_initial = initial_pods.len();
     let mut eng = Engine {
         cfg,
         concurrency: app.config.concurrency.max(1) as u64,
         cold_ms,
         min_scale,
-        pods: (0..min_scale)
-            .map(|_| Pod {
-                warm_at: 0,
-                keep_until: 0,
-                queued: 0,
-                joinable: false,
-            })
-            .collect(),
+        pods: initial_pods,
         inflight: BinaryHeap::new(),
         last_t: 0,
         alive_pod_ms: 0.0,
@@ -284,6 +398,8 @@ pub fn simulate_app_tickwise(
         delays: Vec::new(),
         spawn_minute: 0,
         spawns_this_minute: 0,
+        cluster,
+        next_uid: min_scale as u64,
     };
 
     let n_replay = app
@@ -334,6 +450,14 @@ pub fn simulate_app_tickwise(
         eng.costs.exec_seconds / eng.concurrency as f64;
     eng.costs.wasted_gb_seconds =
         (eng.costs.allocated_gb_seconds - mem_gb * busy_pod_secs).max(0.0);
+    let cluster_outcome = eng.cluster.take().map(|cl| {
+        debug_assert_eq!(
+            cl.total_pod_ms() as f64,
+            eng.alive_pod_ms,
+            "per-node occupancy must sum to the alive-time integral"
+        );
+        cl.into_outcome(last_end)
+    });
     SimResult {
         costs: eng.costs,
         delays_secs: eng.delays,
@@ -341,8 +465,9 @@ pub fn simulate_app_tickwise(
         peak_concurrency: eng.peak_concurrency,
         arrivals: eng.arrivals,
         pod_counts: eng.pod_counts,
-        initial_pods: min_scale,
+        initial_pods: placed_initial,
         faults: femux_fault::FaultStats::default(),
+        cluster: cluster_outcome,
         // The frozen twin predates the span layer and never implements
         // it; equivalence runs compare with `SimConfig::spans` unset.
         spans: Vec::new(),
