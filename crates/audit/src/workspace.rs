@@ -18,7 +18,7 @@ use crate::findings::{CrateClass, FileKind};
 /// Crate directory names with the deterministic-output contract.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
     "trace", "sim", "forecast", "classify", "features", "rum", "stats",
-    "core", "audit", "obs", "fault", "oracle",
+    "core", "audit", "obs", "fault", "oracle", "serve",
 ];
 
 /// One file selected for auditing.

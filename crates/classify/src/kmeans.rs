@@ -72,6 +72,34 @@ impl KMeans {
             rows.iter().all(|r| r.len() == dims),
             "ragged feature matrix"
         );
+        // A single non-finite coordinate poisons every distance it
+        // touches: k-means++ weights go NaN, Lloyd centroid sums go
+        // NaN, and the final inertia comparison used to panic on the
+        // resulting non-total order. Clamp offending coordinates to 0
+        // (the scaler's "no information" z-score) before fitting.
+        let cleaned: Option<Vec<Vec<f64>>> =
+            if rows.iter().flatten().all(|x| x.is_finite()) {
+                None
+            } else {
+                let bad = rows
+                    .iter()
+                    .filter(|r| r.iter().any(|x| !x.is_finite()))
+                    .count();
+                femux_obs::counter_add(
+                    "classify.kmeans.nonfinite_rows",
+                    bad as u64,
+                );
+                Some(
+                    rows.iter()
+                        .map(|r| {
+                            r.iter()
+                                .map(|&x| if x.is_finite() { x } else { 0.0 })
+                                .collect()
+                        })
+                        .collect(),
+                )
+            };
+        let rows: &[Vec<f64>] = cleaned.as_deref().unwrap_or(rows);
         let mut rng = Rng::seed_from_u64(cfg.seed);
         let seeds: Vec<u64> = (0..cfg.restarts.max(1))
             .map(|_| rng.next_u64())
@@ -85,9 +113,10 @@ impl KMeans {
             Self::fit_once(rows, cfg, &mut Rng::seed_from_u64(seed))
         })
         .into_iter()
-        .min_by(|a, b| {
-            a.inertia.partial_cmp(&b.inertia).expect("finite inertia")
-        })
+        // total_cmp keeps the first-minimum tie-break of min_by for
+        // finite inertias and, unlike the old partial_cmp + expect,
+        // cannot panic if an inertia still comes out non-finite.
+        .min_by(|a, b| a.inertia.total_cmp(&b.inertia))
         .expect("at least one restart ran")
     }
 
@@ -328,6 +357,55 @@ mod tests {
         let near_origin = model.predict(&[0.2, -0.1]);
         let same = model.predict(&[0.0, 0.0]);
         assert_eq!(near_origin, same);
+    }
+
+    #[test]
+    fn nonfinite_row_does_not_poison_fit() {
+        // Regression: one NaN coordinate made the k-means++ weights and
+        // Lloyd centroid sums NaN, and the restart reduction panicked on
+        // "finite inertia". The row is now clamped to 0 before fitting.
+        let (mut rows, _) = three_blobs(20, 5);
+        rows.push(vec![f64::NAN, f64::INFINITY]);
+        let model = KMeans::fit(
+            &rows,
+            &KMeansConfig {
+                k: 3,
+                ..KMeansConfig::default()
+            },
+        );
+        assert!(model.inertia.is_finite());
+        for c in &model.centroids {
+            assert!(c.iter().all(|x| x.is_finite()), "centroid {c:?}");
+        }
+    }
+
+    #[test]
+    fn constant_rate_app_classifies_without_poisoning() {
+        // A constant-rate app produces a zero-variance live window:
+        // after standardization its z-scores must be exactly 0 (not
+        // NaN), and clustering alongside varied apps must stay finite.
+        use crate::scaler::StandardScaler;
+        let mut rows = vec![vec![7.0, 7.0]; 10]; // constant-rate fleet
+        let (varied, _) = three_blobs(10, 6);
+        rows.extend(varied);
+        let scaler = StandardScaler::fit(&rows);
+        let scaled = scaler.transform(&rows);
+        assert!(
+            scaled.iter().flatten().all(|z| z.is_finite()),
+            "z-scores must be finite for a zero-variance window"
+        );
+        let model = KMeans::fit(
+            &scaled,
+            &KMeansConfig {
+                k: 4,
+                ..KMeansConfig::default()
+            },
+        );
+        assert!(model.inertia.is_finite());
+        let mut probe = vec![7.0, 7.0];
+        scaler.transform_row(&mut probe);
+        let cluster = model.predict(&probe);
+        assert!(cluster < model.k());
     }
 
     #[test]

@@ -16,7 +16,10 @@ impl StandardScaler {
     /// Fits the scaler on a row-major feature matrix.
     ///
     /// Columns with zero variance are given a standard deviation of 1 so
-    /// transforming them yields zeros rather than NaNs.
+    /// transforming them yields zeros rather than NaNs. Columns whose
+    /// mean or standard deviation comes out non-finite (a poisoned
+    /// sample in the fit set) are likewise neutralized to mean 0 /
+    /// std 1.
     ///
     /// # Panics
     ///
@@ -34,6 +37,14 @@ impl StandardScaler {
         }
         for m in &mut means {
             *m /= n;
+            // A non-finite sample (poisoned density on an ∞-bearing
+            // window, a NaN from a lost report) would otherwise make the
+            // whole column's mean/std NaN and poison every z-score fit
+            // on it. Center such columns at 0 and let the std guard
+            // below neutralize the scale.
+            if !m.is_finite() {
+                *m = 0.0;
+            }
         }
         let mut stds = vec![0.0; dims];
         for row in rows {
@@ -43,7 +54,10 @@ impl StandardScaler {
         }
         for s in &mut stds {
             *s = (*s / n).sqrt();
-            if *s < 1e-12 {
+            // `< 1e-12` alone misses NaN (all comparisons on NaN are
+            // false), which let a single non-finite sample ship a NaN
+            // std and turn every later z-score in the column into NaN.
+            if !s.is_finite() || *s < 1e-12 {
                 *s = 1.0;
             }
         }
@@ -65,6 +79,14 @@ impl StandardScaler {
         for ((x, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds)
         {
             *x = (*x - m) / s;
+            // Online windows can still present non-finite raw features
+            // (e.g. ln-density of an ∞ sum). A NaN z-score makes every
+            // k-means distance involving the row NaN, which silently
+            // routes the app to cluster 0 and — during refits — poisons
+            // Lloyd centroid sums. Clamp at the boundary instead.
+            if !x.is_finite() {
+                *x = 0.0;
+            }
         }
     }
 
@@ -131,6 +153,39 @@ mod tests {
         scaler.inverse_row(&mut row);
         assert!((row[0] - 0.5).abs() < 1e-12);
         assert!((row[1] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonfinite_fit_sample_does_not_poison_the_column() {
+        // Regression: a NaN in the fit set made the column's mean and
+        // std NaN; the old `*s < 1e-12` guard is false for NaN, so every
+        // subsequent z-score in the column was NaN.
+        for poison in [f64::NAN, f64::INFINITY] {
+            let rows = vec![
+                vec![1.0, 10.0],
+                vec![poison, 20.0],
+                vec![3.0, 30.0],
+            ];
+            let scaler = StandardScaler::fit(&rows);
+            let mut probe = vec![2.0, 20.0];
+            scaler.transform_row(&mut probe);
+            assert!(
+                probe.iter().all(|z| z.is_finite()),
+                "poison={poison}: {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonfinite_live_feature_clamps_to_zero_z_score() {
+        // Regression: transform_row passed non-finite raw features
+        // through as non-finite z-scores, which poison k-means distances
+        // downstream.
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 30.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let mut live = vec![f64::INFINITY, f64::NAN];
+        scaler.transform_row(&mut live);
+        assert_eq!(live, vec![0.0, 0.0]);
     }
 
     #[test]

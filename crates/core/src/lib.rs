@@ -37,12 +37,14 @@
 //! ```
 
 pub mod config;
+pub mod degrade;
 pub mod label;
 pub mod manager;
 pub mod model;
 pub mod tiers;
 
 pub use config::FemuxConfig;
+pub use degrade::{DegradeLadder, LadderDecision};
 pub use manager::{AppManager, FemuxPolicy};
 pub use model::{
     label_fleet, train, train_from_labels, Classifier, ClassifierKind,

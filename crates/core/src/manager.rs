@@ -27,11 +27,8 @@ use femux_features::Block;
 use femux_forecast::{Forecaster, ForecasterKind};
 use femux_sim::policy::{IdleRun, IdleTicks, PolicyCtx, ScalingPolicy};
 
+use crate::degrade::{DegradeLadder, LadderDecision};
 use crate::model::FemuxModel;
-
-/// Cap on the degradation backoff exponent (penalty is `2^strikes - 1`
-/// blocks, so the longest demotion is 63 blocks).
-const MAX_STRIKE_EXPONENT: u32 = 6;
 
 /// Online state for one application.
 pub struct AppManager {
@@ -51,12 +48,9 @@ pub struct AppManager {
     faults: Option<ForecastFaults>,
     /// The moving-average fallback while degraded; `None` when healthy.
     fallback: Option<Box<dyn Forecaster>>,
-    /// Full penalty blocks left before re-promotion is allowed.
-    penalty_blocks_left: usize,
-    /// Consecutive degradations without an intervening clean block.
-    strikes: u32,
-    /// Whether the current block saw a degradation (gates strike reset).
-    faulted_this_block: bool,
+    /// Demotion/backoff/re-promotion control state (shared with the
+    /// online serving harness, which drives its own copy).
+    ladder: DegradeLadder,
 }
 
 impl AppManager {
@@ -73,9 +67,7 @@ impl AppManager {
             model,
             faults: None,
             fallback: None,
-            penalty_blocks_left: 0,
-            strikes: 0,
-            faulted_this_block: false,
+            ladder: DegradeLadder::new(),
         }
     }
 
@@ -160,15 +152,14 @@ impl AppManager {
                 &format!("core.manager.selected.{}", kind.name()),
                 1,
             );
-            if self.fallback.is_some() {
-                if self.penalty_blocks_left > 0 {
+            match self.ladder.block_boundary() {
+                LadderDecision::Fallback => {
                     // Still serving out the backoff penalty: another
                     // full block on the fallback.
-                    self.penalty_blocks_left -= 1;
                     self.history_of_kinds
                         .push(ForecasterKind::MovingAverage);
-                    femux_obs::counter_add("degrade.fallback_blocks", 1);
-                } else {
+                }
+                LadderDecision::Repromote => {
                     // Penalty served: re-promote to whatever the
                     // classifier picked for the fresh block.
                     self.fallback = None;
@@ -178,22 +169,16 @@ impl AppManager {
                     self.current_kind = kind;
                     self.forecaster = kind.build();
                     self.history_of_kinds.push(kind);
-                    femux_obs::counter_add("degrade.repromotions", 1);
                 }
-            } else {
-                if kind != self.current_kind {
-                    femux_obs::counter_add("core.manager.switches", 1);
-                    self.current_kind = kind;
-                    self.forecaster = kind.build();
+                LadderDecision::Healthy { .. } => {
+                    if kind != self.current_kind {
+                        femux_obs::counter_add("core.manager.switches", 1);
+                        self.current_kind = kind;
+                        self.forecaster = kind.build();
+                    }
+                    self.history_of_kinds.push(kind);
                 }
-                if !self.faulted_this_block {
-                    // A clean block on the real forecaster forgives
-                    // past strikes.
-                    self.strikes = 0;
-                }
-                self.history_of_kinds.push(kind);
             }
-            self.faulted_this_block = false;
             self.next_block_end += self.model.cfg.block_len;
         }
     }
@@ -296,18 +281,13 @@ impl AppManager {
         femux_obs::counter_add("core.manager.forecasts", k as u64);
     }
 
-    /// Demotes the app to the moving-average fallback, charging an
-    /// exponentially growing block penalty for repeat offenses.
+    /// Demotes the app to the moving-average fallback; the ladder
+    /// charges the exponentially growing block penalty for repeat
+    /// offenses.
     fn enter_fallback(&mut self) {
-        let penalty =
-            (1usize << self.strikes.min(MAX_STRIKE_EXPONENT)) - 1;
-        self.strikes = self.strikes.saturating_add(1);
-        self.penalty_blocks_left = penalty;
-        self.faulted_this_block = true;
+        self.ladder.record_fault();
         self.fallback = Some(ForecasterKind::MovingAverage.build());
         self.history_of_kinds.push(ForecasterKind::MovingAverage);
-        femux_obs::counter_add("degrade.fallbacks", 1);
-        femux_obs::observe("degrade.penalty_blocks", penalty as u64);
     }
 }
 
@@ -362,9 +342,7 @@ impl AppManager {
             model,
             faults: None,
             fallback: None,
-            penalty_blocks_left: 0,
-            strikes: 0,
-            faulted_this_block: false,
+            ladder: DegradeLadder::new(),
         }
     }
 }

@@ -340,7 +340,27 @@ impl FemuxModel {
         if femux_features::is_idle(block) {
             return self.default_forecaster;
         }
-        let mut feats = extract(block, &self.cfg.features);
+        self.select_from_features(
+            &extract(block, &self.cfg.features),
+            false,
+        )
+    }
+
+    /// Selects the forecaster from an already-extracted (raw, unscaled)
+    /// feature row — the online path, where the serving harness
+    /// maintains features incrementally and never materializes a
+    /// [`Block`]. `idle` is the block's [`femux_features::is_idle`]
+    /// verdict; idle blocks route to the default forecaster without
+    /// classification, exactly as [`FemuxModel::select`] does.
+    pub fn select_from_features(
+        &self,
+        features: &[f64],
+        idle: bool,
+    ) -> ForecasterKind {
+        if idle {
+            return self.default_forecaster;
+        }
+        let mut feats = features.to_vec();
         self.scaler.transform_row(&mut feats);
         match &self.classifier {
             Classifier::KMeans {

@@ -14,6 +14,10 @@ use femux_stats::bds::bds_on_ar_residuals;
 use femux_stats::desc::mean;
 use femux_stats::fft::power_spectrum;
 
+pub mod incremental;
+
+pub use incremental::{BlockFeatures, IncrementalExtractor};
+
 /// The paper's block size in minutes.
 pub const BLOCK_MINUTES: usize = 504;
 
@@ -125,18 +129,20 @@ pub fn linearity(series: &[f64]) -> f64 {
 }
 
 /// Computes the periodicity feature: the fraction of variance in the
-/// three strongest harmonics. 0 for flat series.
+/// three strongest harmonics. 0 for flat series and for windows whose
+/// spectrum is degenerate (a non-finite sample poisons every bin, so
+/// such a window carries no periodicity evidence).
 pub fn periodicity(series: &[f64]) -> f64 {
     let spectrum = power_spectrum(series);
     if spectrum.is_empty() {
         return 0.0;
     }
     let total: f64 = spectrum.iter().sum();
-    if total <= 1e-12 {
+    if !total.is_finite() || total <= 1e-12 {
         return 0.0;
     }
     let mut top = spectrum.to_vec();
-    top.sort_by(|a, b| b.partial_cmp(a).expect("finite power"));
+    top.sort_by(|a, b| b.total_cmp(a));
     top.iter().take(3).sum::<f64>() / total
 }
 
@@ -321,6 +327,27 @@ mod tests {
         let rows = extract_all(&blocks, &FeatureKind::DEFAULT);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn periodicity_nonfinite_window_is_flat_not_a_panic() {
+        // Regression (serve parity gate, adversarial battery): a
+        // 504-minute window carrying a single NaN sample — a lost
+        // concurrency report that reaches batch extraction unsanitized
+        // — used to panic in the power-spectrum sort ("finite power");
+        // an ∞ sample produced a NaN feature that poisoned the scaler
+        // downstream. Both degenerate windows now report zero
+        // periodicity.
+        let mut series = periodic_series(504);
+        series[100] = f64::NAN;
+        assert_eq!(periodicity(&series), 0.0);
+        series[100] = f64::INFINITY;
+        assert_eq!(periodicity(&series), 0.0);
+        // The test statistics stay finite on such windows too (density
+        // deliberately reports the poisoned mass itself; the scaler
+        // clamps it downstream).
+        assert!(stationarity(&series).is_finite());
+        assert!(linearity(&series).is_finite());
     }
 
     #[test]

@@ -109,6 +109,31 @@ mod tests {
     }
 
     #[test]
+    fn nonfinite_history_yields_finite_forecast_without_panicking() {
+        // Regression: a single NaN sample (e.g. a lost concurrency
+        // report before sanitization) used to propagate NaN amplitudes
+        // into `top_harmonics`' ranking sort, which panicked on the
+        // non-total order ("amplitudes are finite"). Non-finite bins are
+        // now dropped before ranking, so the forecaster degrades to the
+        // surviving harmonics and sanitization keeps the output finite.
+        for poison in [f64::NAN, f64::INFINITY] {
+            let mut history: Vec<f64> = (0..128)
+                .map(|t| {
+                    2.0 + (2.0 * std::f64::consts::PI * t as f64 / 32.0)
+                        .sin()
+                })
+                .collect();
+            history[40] = poison;
+            let mut fc = FftForecaster::paper();
+            let pred = fc.forecast(&history, 16);
+            assert_eq!(pred.len(), 16);
+            for p in pred {
+                assert!(p.is_finite() && p >= 0.0, "poison={poison}: {p}");
+            }
+        }
+    }
+
+    #[test]
     fn empty_history() {
         let mut fc = FftForecaster::paper();
         assert_eq!(fc.forecast(&[], 4), vec![0.0; 4]);

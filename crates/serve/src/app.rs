@@ -1,0 +1,419 @@
+//! Per-app online serving state.
+//!
+//! [`ServedApp`] is the serving twin of `femux::manager::AppManager`:
+//! the same sanitization, the same block-boundary classification, the
+//! same degradation ladder — but with O(1) per-sample work and O(block)
+//! memory. Where `AppManager` keeps the app's entire series and
+//! re-extracts features from the last block, `ServedApp` keeps a
+//! fixed-capacity forecast ring plus an
+//! [`IncrementalExtractor`], so per-app memory is bounded by
+//! `history + block_len` samples regardless of how long the pod runs.
+//!
+//! Given the same sample stream, `ServedApp`'s decision log is
+//! *identical* to `AppManager::history_of_kinds` — `tests/
+//! serve_determinism.rs` pins this replay-equals-offline contract.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use femux::degrade::{DegradeLadder, LadderDecision};
+use femux::model::FemuxModel;
+use femux_fault::{
+    AppFaults, FaultStats, ForecastFate, ForecastFaults,
+};
+use femux_features::{BlockFeatures, IncrementalExtractor};
+use femux_forecast::{Forecaster, ForecasterKind};
+use femux_trace::AppId;
+
+/// Online state for one served application.
+pub struct ServedApp {
+    id: AppId,
+    model: Arc<FemuxModel>,
+    /// Trailing forecast window (capacity `cfg.history`).
+    history: VecDeque<f64>,
+    extractor: IncrementalExtractor,
+    ladder: DegradeLadder,
+    current_kind: ForecasterKind,
+    forecaster: Box<dyn Forecaster>,
+    /// The moving-average fallback while degraded; `None` when healthy.
+    fallback: Option<Box<dyn Forecaster>>,
+    /// Every forecaster used, in order — the online mirror of
+    /// `AppManager::history_of_kinds`.
+    pub decisions: Vec<ForecasterKind>,
+    /// Injected forecaster-fault stream, if serving under a fault plan.
+    forecast_faults: Option<ForecastFaults>,
+    /// Injected engine faults (report loss), if any.
+    engine_faults: Option<AppFaults>,
+    /// Per-pod concurrency limit (actuation divisor).
+    concurrency_limit: u32,
+    // --- outcome tallies (all deterministic) ---
+    /// Completed blocks.
+    pub blocks: usize,
+    /// Concurrency reports lost to injected faults.
+    pub reports_lost: u64,
+    /// Samples sanitized because they arrived non-finite.
+    pub nonfinite_samples: u64,
+    /// Sum of per-step pod targets.
+    pub target_pod_sum: u64,
+    /// Largest single-step pod target.
+    pub target_pod_max: usize,
+}
+
+impl ServedApp {
+    /// Creates serving state for one app, starting on the model's
+    /// default forecaster.
+    pub fn new(
+        id: AppId,
+        model: Arc<FemuxModel>,
+        exec_secs: f64,
+        concurrency_limit: u32,
+    ) -> Self {
+        let kind = model.default_forecaster;
+        let extractor = IncrementalExtractor::new(
+            model.cfg.block_len,
+            exec_secs,
+            &model.cfg.features,
+        );
+        ServedApp {
+            id,
+            history: VecDeque::with_capacity(model.cfg.history),
+            extractor,
+            ladder: DegradeLadder::new(),
+            current_kind: kind,
+            forecaster: kind.build(),
+            fallback: None,
+            decisions: vec![kind],
+            forecast_faults: None,
+            engine_faults: None,
+            concurrency_limit: concurrency_limit.max(1),
+            model,
+            blocks: 0,
+            reports_lost: 0,
+            nonfinite_samples: 0,
+            target_pod_sum: 0,
+            target_pod_max: 0,
+        }
+    }
+
+    /// Installs injected fault streams (keyed by app id, so the draw
+    /// sequence is independent of sharding). Also installs the
+    /// process-wide hook that keeps injected panics off stderr.
+    pub fn with_faults(
+        mut self,
+        forecast: ForecastFaults,
+        engine: AppFaults,
+    ) -> Self {
+        femux_fault::silence_injected_panics();
+        self.forecast_faults = Some(forecast);
+        self.engine_faults = Some(engine);
+        self
+    }
+
+    /// The app's identity.
+    pub fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// The forecaster currently serving (the fallback while degraded).
+    pub fn current(&self) -> ForecasterKind {
+        if self.fallback.is_some() {
+            ForecasterKind::MovingAverage
+        } else {
+            self.current_kind
+        }
+    }
+
+    /// Whether the app is demoted to the fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    /// Injected-fault tallies across both streams.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self
+            .forecast_faults
+            .as_ref()
+            .map(|f| f.stats)
+            .unwrap_or_default();
+        if let Some(e) = &self.engine_faults {
+            stats.merge(&e.stats);
+        }
+        stats
+    }
+
+    /// Serves one virtual-clock step: ingest the concurrency report,
+    /// maintain features, re-classify at a block boundary, forecast one
+    /// step ahead, and return the pod target. `step` is the virtual
+    /// minute (spans are stamped at `step * 60 s`).
+    pub fn step(
+        &mut self,
+        step: usize,
+        value: f64,
+        utilization: f64,
+    ) -> usize {
+        // Injected report loss arrives as a NaN sample, exercising the
+        // same sanitization path a production report gap would.
+        let lost = self
+            .engine_faults
+            .as_mut()
+            .is_some_and(|e| e.lose_report());
+        let value = if lost {
+            self.reports_lost += 1;
+            f64::NAN
+        } else {
+            value
+        };
+        // Mirrors AppManager::observe: one bad report can never poison
+        // the history the forecasters and classifier read.
+        let value = if value.is_finite() {
+            value
+        } else {
+            femux_obs::counter_add("serve.nonfinite_observations", 1);
+            self.nonfinite_samples += 1;
+            0.0
+        };
+        let value = value.max(0.0);
+        // The forecast window is the trailing `cfg.history` samples —
+        // exactly `series[len - history..]` in AppManager terms (an
+        // empty window when history is configured to 0).
+        if self.history.len() == self.model.cfg.history {
+            self.history.pop_front();
+        }
+        if self.model.cfg.history > 0 {
+            self.history.push_back(value);
+        }
+        if let Some(block) = self.extractor.push(value) {
+            self.on_block(step, block);
+        }
+        let pred = self.forecast_one();
+        // Knative-style actuation: provision the forecast against the
+        // per-pod concurrency target scaled by the utilization headroom
+        // (cf. FemuxPolicy::target_pods + PolicyCtx::pods_for_concurrency).
+        let target = pred / utilization.clamp(0.05, 1.0);
+        let pods = if target <= 0.0 {
+            0
+        } else {
+            (target / self.concurrency_limit as f64).ceil() as usize
+        };
+        self.target_pod_sum += pods as u64;
+        self.target_pod_max = self.target_pod_max.max(pods);
+        femux_obs::observe("serve.target_pods", pods as u64);
+        if femux_obs::events_enabled() {
+            femux_obs::instant(
+                &format!("serve/app-{}", self.id.0),
+                "serve",
+                "actuate",
+                virtual_ts_us(step),
+                &[("pods", pods as u64)],
+            );
+        }
+        pods
+    }
+
+    /// Block boundary: classify the finished block and let the
+    /// degradation ladder arbitrate the next forecaster.
+    fn on_block(&mut self, step: usize, block: BlockFeatures) {
+        self.blocks += 1;
+        let kind =
+            self.model.select_from_features(&block.features, block.idle);
+        femux_obs::counter_add("serve.blocks_classified", 1);
+        femux_obs::counter_add(
+            &format!("serve.selected.{}", kind.name()),
+            1,
+        );
+        if femux_obs::events_enabled() {
+            let track = format!("serve/app-{}", self.id.0);
+            femux_obs::span(
+                &track,
+                "serve",
+                "classify",
+                virtual_ts_us(step),
+                0,
+                &[
+                    ("block", block.seq as u64),
+                    ("idle", block.idle as u64),
+                ],
+            );
+        }
+        match self.ladder.block_boundary() {
+            LadderDecision::Fallback => {
+                self.decisions.push(ForecasterKind::MovingAverage);
+            }
+            LadderDecision::Repromote => {
+                self.fallback = None;
+                if kind != self.current_kind {
+                    femux_obs::counter_add("serve.switches", 1);
+                }
+                self.current_kind = kind;
+                self.forecaster = kind.build();
+                self.decisions.push(kind);
+            }
+            LadderDecision::Healthy { .. } => {
+                if kind != self.current_kind {
+                    femux_obs::counter_add("serve.switches", 1);
+                    self.current_kind = kind;
+                    self.forecaster = kind.build();
+                }
+                self.decisions.push(kind);
+            }
+        }
+    }
+
+    /// One-step forecast under the same panic/non-finite guard as
+    /// `AppManager::forecast`; a fault demotes to the moving-average
+    /// fallback via the shared ladder.
+    fn forecast_one(&mut self) -> f64 {
+        femux_obs::counter_add("serve.forecasts", 1);
+        let window = self.history.make_contiguous();
+        if self.fallback.is_none() {
+            let fate = match self.forecast_faults.as_mut() {
+                Some(f) => f.fate(),
+                None => ForecastFate::None,
+            };
+            let forecaster = &mut self.forecaster;
+            let hist: &[f64] = window;
+            let result = catch_unwind(AssertUnwindSafe(move || {
+                let mut out = forecaster.forecast(hist, 1);
+                match fate {
+                    ForecastFate::None => {}
+                    ForecastFate::Nan => {
+                        out.iter_mut().for_each(|v| *v = f64::NAN)
+                    }
+                    ForecastFate::Inf => {
+                        out.iter_mut().for_each(|v| *v = f64::INFINITY)
+                    }
+                    ForecastFate::Panic => femux_fault::inject_panic(),
+                }
+                out
+            }));
+            match result {
+                Ok(out) if out.iter().all(|v| v.is_finite()) => {
+                    return out[0];
+                }
+                Ok(_) => {
+                    femux_obs::counter_add("serve.forecast_nonfinite", 1);
+                }
+                Err(_) => {
+                    femux_obs::counter_add("serve.forecast_panics", 1);
+                }
+            }
+            self.ladder.record_fault();
+            self.fallback = Some(ForecasterKind::MovingAverage.build());
+            self.decisions.push(ForecasterKind::MovingAverage);
+        }
+        let window = self.history.make_contiguous();
+        self.fallback
+            .as_mut()
+            .expect("degraded path always has a fallback installed")
+            .forecast(window, 1)[0]
+    }
+}
+
+/// Virtual timestamp of a serving step: one trace minute per step.
+fn virtual_ts_us(step: usize) -> u64 {
+    step as u64 * 60_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femux::config::FemuxConfig;
+    use femux::model::{train, ClassifierKind, TrainApp};
+    use femux_stats::rng::Rng;
+
+    fn model() -> Arc<FemuxModel> {
+        let cfg = FemuxConfig::for_tests();
+        let mut rng = Rng::seed_from_u64(1);
+        let apps: Vec<TrainApp> = (0..6)
+            .map(|i| {
+                let series: Vec<f64> = if i % 2 == 0 {
+                    (0..600)
+                        .map(|t| {
+                            5.0 + 4.0
+                                * (2.0 * std::f64::consts::PI * t as f64
+                                    / 24.0)
+                                    .sin()
+                        })
+                        .collect()
+                } else {
+                    (0..600)
+                        .map(|_| (2.0 + rng.normal()).max(0.0))
+                        .collect()
+                };
+                TrainApp {
+                    concurrency: series,
+                    exec_secs: 0.5,
+                    mem_gb: 0.5,
+                    pod_concurrency: 1,
+                }
+            })
+            .collect();
+        Arc::new(
+            train(&apps, &cfg, ClassifierKind::KMeans).expect("model"),
+        )
+    }
+
+    #[test]
+    fn decisions_match_offline_app_manager() {
+        // The replay-equals-offline contract in miniature (the full
+        // fleet sweep lives in tests/serve_determinism.rs): the same
+        // stream drives a ServedApp and an AppManager to the same
+        // decision log.
+        let model = model();
+        let mut served = ServedApp::new(AppId(3), model.clone(), 0.5, 1);
+        let mut mgr = femux::manager::AppManager::new(model.clone(), 0.5);
+        for t in 0..model.cfg.block_len * 3 + 50 {
+            let v = (3.0
+                + 2.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0)
+                    .sin())
+            .max(0.0);
+            served.step(t, v, 0.7);
+            mgr.observe(v);
+            let _ = mgr.forecast(1);
+        }
+        assert_eq!(served.decisions, mgr.history_of_kinds);
+        assert_eq!(served.blocks, 3);
+    }
+
+    #[test]
+    fn forecast_faults_demote_and_recover_like_offline() {
+        let model = model();
+        let plan = femux_fault::FaultConfig::uniform(11, 1.0);
+        let mut served = ServedApp::new(AppId(3), model.clone(), 0.5, 1)
+            .with_faults(
+                plan.forecast_faults(AppId(3)),
+                femux_fault::FaultConfig::off(11).engine_faults(AppId(3)),
+            );
+        let block = model.cfg.block_len;
+        for t in 0..block * 3 {
+            let pods =
+                served.step(t, (2.0 + (t as f64 * 0.3).sin()).max(0.0), 0.7);
+            // Whatever fate fires, actuation stays sane.
+            assert!(pods < 10_000);
+        }
+        assert!(served.fault_stats().forecast_faults > 0);
+        assert!(served
+            .decisions
+            .contains(&ForecasterKind::MovingAverage));
+    }
+
+    #[test]
+    fn report_loss_sanitizes_to_zero_sample() {
+        let model = model();
+        // Rate 1.0: every report is lost; the app must behave exactly
+        // like an idle app (all-zero samples), not crash or emit NaN.
+        let plan = femux_fault::FaultConfig::uniform(5, 1.0);
+        let mut served = ServedApp::new(AppId(9), model.clone(), 0.5, 1)
+            .with_faults(
+                femux_fault::FaultConfig::off(5).forecast_faults(AppId(9)),
+                plan.engine_faults(AppId(9)),
+            );
+        for t in 0..model.cfg.block_len {
+            let pods = served.step(t, 5.0, 0.7);
+            assert_eq!(pods, 0, "lost reports must read as idle");
+        }
+        assert_eq!(served.reports_lost, model.cfg.block_len as u64);
+        assert_eq!(served.nonfinite_samples, model.cfg.block_len as u64);
+    }
+}

@@ -109,9 +109,231 @@ pub fn adf_test_auto(xs: &[f64]) -> Option<AdfResult> {
     if n < 16 {
         return None;
     }
+    adf_test(xs, schwert_lags(n))
+}
+
+/// The Schwert lag rule used by [`adf_test_auto`] for a series of
+/// length `n`: `floor(12 * (n / 100)^{1/4})`, capped at `n / 8` and
+/// floored at 1.
+pub fn schwert_lags(n: usize) -> usize {
     let schwert = (12.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
-    let lags = schwert.min(n / 8).max(1);
-    adf_test(xs, lags)
+    schwert.min(n / 8).max(1)
+}
+
+/// Streaming ADF accumulator: ingests one sample at a time and, once the
+/// window is complete, reproduces [`adf_test`] **bit-for-bit**.
+///
+/// The regression row for difference index `t` (`[1, y_t, dy_{t-1}, …,
+/// dy_{t-lags}]`, target `dy_t`) becomes available exactly when sample
+/// `t + 1` arrives, so rows are accumulated in arrival order — the same
+/// order the batch test builds its design matrix. The Gram matrix and
+/// `X^T y` accumulations replicate [`Matrix::gram`]'s loop (including
+/// its `== 0.0` row-entry skip and upper-triangle-then-mirror layout)
+/// and `transpose().matvec(y)`'s in-order fold, so every floating-point
+/// operation happens on the same operands in the same order as the
+/// batch path. [`AdfAccumulator::finalize`] then performs the identical
+/// solve / ridge / residual / standard-error sequence.
+///
+/// This is what lets the online serving harness maintain the
+/// stationarity feature incrementally per sample instead of
+/// re-extracting O(block × lags²) work at every block boundary, while
+/// the parity gate holds exactly.
+#[derive(Debug, Clone)]
+pub struct AdfAccumulator {
+    lags: usize,
+    cols: usize,
+    n_seen: usize,
+    prev: f64,
+    diffs: Vec<f64>,
+    /// `cols × cols` Gram accumulation; only the upper triangle is
+    /// written during streaming, mirroring [`Matrix::gram`].
+    gram: Vec<f64>,
+    rhs: Vec<f64>,
+    row: Vec<f64>,
+}
+
+impl AdfAccumulator {
+    /// Creates an accumulator for a fixed augmenting-lag count.
+    pub fn new(lags: usize) -> Self {
+        let cols = 2 + lags;
+        AdfAccumulator {
+            lags,
+            cols,
+            n_seen: 0,
+            prev: 0.0,
+            diffs: Vec::new(),
+            gram: vec![0.0; cols * cols],
+            rhs: vec![0.0; cols],
+            row: vec![0.0; cols],
+        }
+    }
+
+    /// Creates an accumulator matching [`adf_test_auto`]'s lag choice
+    /// for a window of length `n`; `None` when the window is too short
+    /// for the automatic test (`n < 16`).
+    pub fn auto(n: usize) -> Option<Self> {
+        if n < 16 {
+            return None;
+        }
+        Some(AdfAccumulator::new(schwert_lags(n)))
+    }
+
+    /// The augmenting-lag count this accumulator was built for.
+    pub fn lags(&self) -> usize {
+        self.lags
+    }
+
+    /// Number of samples ingested since the last reset.
+    pub fn len(&self) -> usize {
+        self.n_seen
+    }
+
+    /// True when no samples have been ingested since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.n_seen == 0
+    }
+
+    /// Clears all accumulated state for the next window.
+    pub fn reset(&mut self) {
+        self.n_seen = 0;
+        self.prev = 0.0;
+        self.diffs.clear();
+        self.gram.iter_mut().for_each(|v| *v = 0.0);
+        self.rhs.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Ingests the next sample, folding the regression row it completes
+    /// (if any) into the Gram and `X^T y` accumulators.
+    pub fn push(&mut self, x: f64) {
+        if self.n_seen >= 1 {
+            // Same subtraction as the batch `windows(2)` pass.
+            let t = self.diffs.len();
+            let d = x - self.prev;
+            self.diffs.push(d);
+            if t >= self.lags {
+                self.row[0] = 1.0;
+                // xs[t] is the previous sample: diff t arrived with
+                // sample t + 1.
+                self.row[1] = self.prev;
+                for i in 0..self.lags {
+                    self.row[2 + i] = self.diffs[t - 1 - i];
+                }
+                // Gram: Matrix::gram()'s per-row loop, verbatim.
+                for i in 0..self.cols {
+                    let a = self.row[i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for j in i..self.cols {
+                        self.gram[i * self.cols + j] += a * self.row[j];
+                    }
+                }
+                // X^T y: transpose().matvec(y) folds row-by-row from
+                // zero, with no zero skip.
+                for i in 0..self.cols {
+                    self.rhs[i] += self.row[i] * d;
+                }
+            }
+        }
+        self.prev = x;
+        self.n_seen += 1;
+    }
+
+    /// Completes the test over the accumulated window. `xs` must be the
+    /// exact sample sequence pushed since the last reset (the serving
+    /// harness keeps it in the block ring anyway); it is only read for
+    /// the single O(rows × cols) residual pass.
+    ///
+    /// Returns exactly what `adf_test(xs, self.lags())` returns, to the
+    /// bit.
+    pub fn finalize(&self, xs: &[f64]) -> Option<AdfResult> {
+        debug_assert_eq!(
+            xs.len(),
+            self.n_seen,
+            "finalize window must match the pushed samples"
+        );
+        let n = self.n_seen;
+        if n < self.lags + 10 {
+            return None;
+        }
+        let rows = self.diffs.len() - self.lags;
+        let cols = self.cols;
+        if rows <= cols {
+            return None;
+        }
+        // Mirror the lower triangle exactly as Matrix::gram() does.
+        let mut g = self.gram.clone();
+        for i in 0..cols {
+            for j in 0..i {
+                g[i * cols + j] = g[j * cols + i];
+            }
+        }
+        let gram = Matrix::from_vec(cols, cols, g);
+        // ols(): plain solve, then the ridge fallback on singularity.
+        let beta = match gram.solve(&self.rhs) {
+            Some(b) => b,
+            None => {
+                let mut ridged = gram.clone();
+                for i in 0..cols {
+                    ridged[(i, i)] += 1e-6;
+                }
+                ridged.solve(&self.rhs)?
+            }
+        };
+        // ols_with_errors(): one residual pass regenerating each design
+        // row; the per-row dot product and the RSS fold replicate
+        // matvec()'s zip/map/sum and the batch in-order accumulation.
+        let mut row = vec![0.0; cols];
+        let mut rss = 0.0f64;
+        for r in 0..rows {
+            let t = self.lags + r;
+            row[0] = 1.0;
+            row[1] = xs[t];
+            for i in 0..self.lags {
+                row[2 + i] = self.diffs[t - 1 - i];
+            }
+            let fitted: f64 =
+                row.iter().zip(&beta).map(|(a, b)| a * b).sum();
+            let yi = self.diffs[t];
+            rss += (yi - fitted) * (yi - fitted);
+        }
+        let dof = rows - cols;
+        let sigma2 = rss / dof as f64;
+        // Standard errors: solve against every unit vector (any failure
+        // fails the fit, as in the batch path), keeping coefficient 1.
+        let mut se1 = 0.0;
+        for j in 0..cols {
+            let mut e = vec![0.0; cols];
+            e[j] = 1.0;
+            let col = match gram.solve(&e) {
+                Some(c) => Some(c),
+                None => {
+                    let mut ridged = gram.clone();
+                    for i in 0..cols {
+                        ridged[(i, i)] += 1e-6;
+                    }
+                    ridged.solve(&e)
+                }
+            }?;
+            let var = sigma2 * col[j];
+            let se = if var > 0.0 { var.sqrt() } else { 0.0 };
+            if j == 1 {
+                se1 = se;
+            }
+        }
+        if se1 <= 1e-12 {
+            return Some(AdfResult {
+                statistic: -100.0,
+                lags: self.lags,
+                n_obs: rows,
+            });
+        }
+        Some(AdfResult {
+            statistic: beta[1] / se1,
+            lags: self.lags,
+            n_obs: rows,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -224,5 +446,102 @@ mod tests {
         let res = adf_test_auto(&xs).unwrap();
         assert!(res.lags >= 1);
         assert!(res.n_obs > 400);
+    }
+
+    /// Bit-for-bit equality between the streaming accumulator and the
+    /// batch test — the serving harness's parity contract.
+    fn assert_streaming_parity(xs: &[f64], lags: usize) {
+        let mut acc = AdfAccumulator::new(lags);
+        for &x in xs {
+            acc.push(x);
+        }
+        let batch = adf_test(xs, lags);
+        let inc = acc.finalize(xs);
+        match (batch, inc) {
+            (None, None) => {}
+            (Some(b), Some(i)) => {
+                assert_eq!(
+                    b.statistic.to_bits(),
+                    i.statistic.to_bits(),
+                    "lags {lags} n {}: batch {} vs incremental {}",
+                    xs.len(),
+                    b.statistic,
+                    i.statistic
+                );
+                assert_eq!(b.lags, i.lags);
+                assert_eq!(b.n_obs, i.n_obs);
+            }
+            (b, i) => panic!(
+                "presence mismatch at lags {lags}: batch {b:?} vs \
+                 incremental {i:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_batch_bit_for_bit() {
+        let signals: Vec<Vec<f64>> = vec![
+            white_noise(504, 7),
+            white_noise(120, 8),
+            random_walk(504, 9),
+            random_walk(120, 10),
+            (0..504)
+                .map(|t| {
+                    3.0 + 2.0
+                        * (2.0 * std::f64::consts::PI * t as f64 / 24.0)
+                            .sin()
+                })
+                .collect(),
+            vec![2.0; 120],
+            vec![0.0; 504],
+            (0..120)
+                .map(|t| if t % 17 == 0 { 1e6 } else { 0.1 })
+                .collect(),
+        ];
+        for xs in &signals {
+            for lags in [1, 2, schwert_lags(xs.len())] {
+                assert_streaming_parity(xs, lags);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_auto_matches_schwert_rule() {
+        for n in [16usize, 120, 504, 1000] {
+            let acc = AdfAccumulator::auto(n).expect("long enough");
+            assert_eq!(acc.lags(), schwert_lags(n));
+        }
+        assert!(AdfAccumulator::auto(15).is_none());
+    }
+
+    #[test]
+    fn accumulator_reset_reuses_cleanly() {
+        let a = white_noise(120, 11);
+        let b = random_walk(120, 12);
+        let mut acc = AdfAccumulator::new(schwert_lags(120));
+        for &x in &a {
+            acc.push(x);
+        }
+        let _ = acc.finalize(&a);
+        acc.reset();
+        assert!(acc.is_empty());
+        for &x in &b {
+            acc.push(x);
+        }
+        let batch = adf_test(&b, acc.lags()).expect("fits");
+        let inc = acc.finalize(&b).expect("fits");
+        assert_eq!(batch.statistic.to_bits(), inc.statistic.to_bits());
+        assert_eq!(acc.len(), b.len());
+    }
+
+    #[test]
+    fn accumulator_short_window_returns_none() {
+        let mut acc = AdfAccumulator::new(3);
+        let xs = vec![1.0, 2.0, 1.5];
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!(acc.finalize(&xs).is_none());
+        assert!(adf_test(&xs, 3).is_none());
     }
 }

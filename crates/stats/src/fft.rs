@@ -265,7 +265,9 @@ impl Harmonic {
 ///
 /// Returns `(mean, harmonics)` where `harmonics` is sorted by descending
 /// amplitude. Only bins `1..=n/2` are considered; each bin's conjugate pair
-/// is folded into a single real sinusoid.
+/// is folded into a single real sinusoid. Bins with a non-finite amplitude
+/// (a single `NaN`/`∞` sample poisons every bin of the transform) carry no
+/// usable harmonic and are dropped rather than ranked.
 pub fn top_harmonics(signal: &[f64], k: usize) -> (f64, Vec<Harmonic>) {
     let n = signal.len();
     if n == 0 {
@@ -285,12 +287,9 @@ pub fn top_harmonics(signal: &[f64], k: usize) -> (f64, Vec<Harmonic>) {
                 phase: spec[bin].arg(),
             }
         })
+        .filter(|h| h.amplitude.is_finite())
         .collect();
-    comps.sort_by(|a, b| {
-        b.amplitude
-            .partial_cmp(&a.amplitude)
-            .expect("amplitudes are finite")
-    });
+    comps.sort_by(|a, b| b.amplitude.total_cmp(&a.amplitude));
     comps.truncate(k);
     (mean, comps)
 }
@@ -363,6 +362,32 @@ mod tests {
                 "{x:?} vs {y:?}"
             );
         }
+    }
+
+    #[test]
+    fn top_harmonics_nonfinite_window_drops_bins_instead_of_panicking() {
+        // Regression (serve parity gate, adversarial battery): a
+        // 64-sample window with one NaN — e.g. a lost concurrency
+        // report reaching the FFT forecaster unsanitized — poisons
+        // every spectral bin, and the amplitude ranking used to panic
+        // in `partial_cmp` ("amplitudes are finite"). Non-finite bins
+        // are now dropped and the sort is total.
+        let mut nan_window = vec![1.0; 64];
+        nan_window[10] = f64::NAN;
+        let (_, comps) = top_harmonics(&nan_window, 3);
+        assert!(
+            comps.iter().all(|c| c.amplitude.is_finite()),
+            "non-finite amplitudes must never be ranked"
+        );
+
+        let mut inf_window = vec![2.0; 64];
+        inf_window[5] = f64::INFINITY;
+        let (_, comps) = top_harmonics(&inf_window, 3);
+        assert!(comps.iter().all(|c| c.amplitude.is_finite()));
+
+        // Extrapolation over such a window stays panic-free too.
+        let out = harmonic_extrapolate(&nan_window, 3, 4);
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

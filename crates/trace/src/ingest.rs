@@ -1,0 +1,255 @@
+//! Serving-boundary trace ingest.
+//!
+//! The offline loader ([`crate::io::read_trace`]) is deliberately
+//! lenient: external tooling interleaves apps and emits timestamps in
+//! any order, so it sorts per app on load. That leniency is wrong at the
+//! *serving* boundary. An online harness consumes history as it arrives;
+//! sorting would rewrite the past (an invocation "arriving" before ones
+//! already served), silently changing per-minute concurrency samples and
+//! therefore every downstream feature, classification, and scaling
+//! decision — while the operator believes they replayed the trace as
+//! recorded.
+//!
+//! [`read_trace_strict`] and [`sanitize_trace`] instead apply an
+//! explicit [`MonotonePolicy`]: **reject** the trace with an error
+//! naming the app and offending record, or **clamp** late timestamps
+//! forward to the running maximum (preserving arrival order) and report
+//! how many were touched so the caller can surface the count.
+
+use std::io::BufRead;
+
+use crate::io::{parse_trace, TraceIoError};
+use crate::types::{AppId, Invocation, Trace};
+
+/// What to do with a timestamp that goes backwards at the serving
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonotonePolicy {
+    /// Fail ingest with [`IngestError::NonMonotone`].
+    Reject,
+    /// Clamp the offending `start_ms` forward to the running maximum,
+    /// preserving arrival order, and count the clamp.
+    Clamp,
+}
+
+/// Errors arising at the serving ingest boundary.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying CSV was unreadable.
+    Io(TraceIoError),
+    /// An invocation's timestamp went backwards under
+    /// [`MonotonePolicy::Reject`].
+    NonMonotone {
+        /// The offending application.
+        app: AppId,
+        /// Index of the offending invocation within the app's list.
+        index: usize,
+        /// The running maximum `start_ms` seen before it.
+        prev_ms: u64,
+        /// The offending (earlier) `start_ms`.
+        start_ms: u64,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "{e}"),
+            IngestError::NonMonotone {
+                app,
+                index,
+                prev_ms,
+                start_ms,
+            } => write!(
+                f,
+                "non-monotone timestamp for app {}: invocation {index} \
+                 starts at {start_ms} ms after one at {prev_ms} ms",
+                app.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<TraceIoError> for IngestError {
+    fn from(e: TraceIoError) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// Enforces monotone `start_ms` over one app's invocations in arrival
+/// order. Returns the number of clamped records (0 under `Reject`, which
+/// errors instead of touching anything).
+pub fn enforce_monotone(
+    app: AppId,
+    invocations: &mut [Invocation],
+    policy: MonotonePolicy,
+) -> Result<usize, IngestError> {
+    let mut high = 0u64;
+    let mut clamped = 0usize;
+    for (index, inv) in invocations.iter_mut().enumerate() {
+        if inv.start_ms < high {
+            match policy {
+                MonotonePolicy::Reject => {
+                    return Err(IngestError::NonMonotone {
+                        app,
+                        index,
+                        prev_ms: high,
+                        start_ms: inv.start_ms,
+                    });
+                }
+                MonotonePolicy::Clamp => {
+                    inv.start_ms = high;
+                    clamped += 1;
+                }
+            }
+        } else {
+            high = inv.start_ms;
+        }
+    }
+    Ok(clamped)
+}
+
+/// Applies [`enforce_monotone`] to every app of a trace. Returns the
+/// total number of clamped invocations.
+pub fn sanitize_trace(
+    trace: &mut Trace,
+    policy: MonotonePolicy,
+) -> Result<usize, IngestError> {
+    let mut clamped = 0;
+    for app in &mut trace.apps {
+        clamped += enforce_monotone(app.id, &mut app.invocations, policy)?;
+    }
+    if clamped > 0 {
+        femux_obs::counter_add(
+            "trace.ingest.clamped_timestamps",
+            clamped as u64,
+        );
+    }
+    Ok(clamped)
+}
+
+/// Reads a trace for serving: same CSV format as
+/// [`crate::io::read_trace`], but non-monotone timestamps are handled by
+/// `policy` instead of being silently re-sorted. Returns the trace and
+/// the number of clamped invocations.
+pub fn read_trace_strict<R: BufRead>(
+    input: R,
+    policy: MonotonePolicy,
+) -> Result<(Trace, usize), IngestError> {
+    let mut trace = parse_trace(input)?;
+    let clamped = sanitize_trace(&mut trace, policy)?;
+    Ok((trace, clamped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OUT_OF_ORDER: &str = "femux-trace,v1,10000\n\
+                                A,1,app,1000,4096,100,0,150,808\n\
+                                I,1,300,10,0\n\
+                                I,1,700,10,0\n\
+                                I,1,500,10,0\n\
+                                I,1,900,10,0\n";
+
+    #[test]
+    fn reject_names_app_and_record() {
+        // Regression: the lenient loader accepted this trace and
+        // silently moved the 500 ms invocation before the 700 ms one —
+        // the serving boundary must refuse instead.
+        let err = read_trace_strict(
+            OUT_OF_ORDER.as_bytes(),
+            MonotonePolicy::Reject,
+        )
+        .unwrap_err();
+        match &err {
+            IngestError::NonMonotone {
+                app,
+                index,
+                prev_ms,
+                start_ms,
+            } => {
+                assert_eq!(*app, AppId(1));
+                assert_eq!(*index, 2);
+                assert_eq!(*prev_ms, 700);
+                assert_eq!(*start_ms, 500);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("app 1") && msg.contains("500"), "{msg}");
+    }
+
+    #[test]
+    fn clamp_preserves_arrival_order() {
+        let (trace, clamped) = read_trace_strict(
+            OUT_OF_ORDER.as_bytes(),
+            MonotonePolicy::Clamp,
+        )
+        .expect("clamped load");
+        assert_eq!(clamped, 1);
+        let starts: Vec<u64> = trace.apps[0]
+            .invocations
+            .iter()
+            .map(|i| i.start_ms)
+            .collect();
+        // The late record is pulled forward to the running max; nothing
+        // is reordered.
+        assert_eq!(starts, vec![300, 700, 700, 900]);
+        assert!(trace.apps[0].is_sorted());
+    }
+
+    #[test]
+    fn sorted_trace_passes_both_policies_untouched() {
+        let text = "femux-trace,v1,10000\n\
+                    A,1,app,1000,4096,100,0,150,808\n\
+                    I,1,100,10,0\n\
+                    I,1,100,10,0\n\
+                    I,1,250,10,0\n";
+        for policy in [MonotonePolicy::Reject, MonotonePolicy::Clamp] {
+            let (trace, clamped) =
+                read_trace_strict(text.as_bytes(), policy).unwrap();
+            assert_eq!(clamped, 0, "{policy:?}");
+            assert_eq!(trace.apps[0].invocations.len(), 3);
+        }
+    }
+
+    #[test]
+    fn lenient_loader_differs_observably_from_strict() {
+        // Document exactly what "silent reordering" changes: the lenient
+        // loader produces a different invocation sequence than clamped
+        // strict ingest on the same bytes.
+        let lenient =
+            crate::io::read_trace(OUT_OF_ORDER.as_bytes()).unwrap();
+        let (strict, _) = read_trace_strict(
+            OUT_OF_ORDER.as_bytes(),
+            MonotonePolicy::Clamp,
+        )
+        .unwrap();
+        assert_ne!(
+            lenient.apps[0].invocations,
+            strict.apps[0].invocations
+        );
+    }
+
+    #[test]
+    fn enforce_monotone_on_empty_and_single() {
+        for policy in [MonotonePolicy::Reject, MonotonePolicy::Clamp] {
+            assert_eq!(
+                enforce_monotone(AppId(7), &mut [], policy).unwrap(),
+                0
+            );
+            let mut one = [Invocation {
+                start_ms: 5,
+                duration_ms: 1,
+                delay_ms: 0,
+            }];
+            assert_eq!(
+                enforce_monotone(AppId(7), &mut one, policy).unwrap(),
+                0
+            );
+        }
+    }
+}

@@ -158,8 +158,23 @@ fn num<T: std::str::FromStr>(
 /// Reads a trace written by [`write_trace`].
 ///
 /// Invocations are re-sorted per application on load, so files produced
-/// by external tooling need not be pre-sorted.
+/// by external tooling need not be pre-sorted. At the *serving*
+/// boundary, where silently reordering live history would rewrite the
+/// past, use [`crate::ingest::read_trace_strict`] instead.
 pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, TraceIoError> {
+    let mut trace = parse_trace(input)?;
+    for app in &mut trace.apps {
+        app.sort();
+    }
+    Ok(trace)
+}
+
+/// Parses the CSV format without normalizing invocation order — the
+/// shared front half of [`read_trace`] (which then sorts) and the strict
+/// serving-boundary loader (which refuses or clamps instead).
+pub(crate) fn parse_trace<R: BufRead>(
+    input: R,
+) -> Result<Trace, TraceIoError> {
     let mut lines = input.lines();
     let header = lines
         .next()
@@ -271,9 +286,6 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, TraceIoError> {
                 ))
             }
         }
-    }
-    for app in &mut trace.apps {
-        app.sort();
     }
     Ok(trace)
 }

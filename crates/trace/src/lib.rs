@@ -15,8 +15,11 @@
 //!   sampling, following §5.1 of the paper.
 //! - [`io`]: a line-oriented CSV trace format with strict error
 //!   reporting.
+//! - [`ingest`]: the serving-boundary loader — non-monotone timestamps
+//!   are rejected or clamped (and counted), never silently reordered.
 //! - [`ops`]: trace carving (subset, clip, merge, thin).
 
+pub mod ingest;
 pub mod io;
 pub mod ops;
 pub mod repr;

@@ -13,6 +13,7 @@ pub use femux_features as features;
 pub use femux_forecast as forecast;
 pub use femux_knative as knative;
 pub use femux_rum as rum;
+pub use femux_serve as serve;
 pub use femux_sim as sim;
 pub use femux_stats as stats;
 pub use femux_trace as trace;
